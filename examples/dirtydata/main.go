@@ -1,0 +1,72 @@
+// Dirty data: the paper's Sec 7 outlook implemented. Real integration
+// sources have dangling references and embedded identifiers ("PDB-144f"
+// holding the code "144f"); exact inclusion misses both. This example
+// shows partial INDs recovering a 95%-clean foreign key and embedded-
+// value INDs recovering a concatenated code reference.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spider"
+)
+
+func main() {
+	db := spider.NewDatabase("dirty")
+
+	// A proteins table and a 95%-clean reference to it.
+	var proteins, features [][]string
+	for i := 0; i < 200; i++ {
+		proteins = append(proteins, []string{fmt.Sprintf("%d", i), fmt.Sprintf("%dab%c", 1+i%9, 'a'+byte(i%26))})
+	}
+	for i := 0; i < 95; i++ {
+		features = append(features, []string{fmt.Sprintf("%d", i)})
+	}
+	for i := 0; i < 5; i++ {
+		features = append(features, []string{fmt.Sprintf("%d", 777000+i)}) // dangling
+	}
+	if err := db.AddTable("proteins", []string{"id", "pdb_code"}, proteins); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.AddTable("features", []string{"protein_id"}, features); err != nil {
+		log.Fatal(err)
+	}
+	// Cross references embed the PDB code in a prefixed form.
+	var xrefs [][]string
+	for i := 0; i < 60; i++ {
+		xrefs = append(xrefs, []string{fmt.Sprintf("PDB-%dab%c", 1+i%9, 'a'+byte(i%26))})
+	}
+	if err := db.AddTable("xrefs", []string{"target"}, xrefs); err != nil {
+		log.Fatal(err)
+	}
+
+	exact, err := spider.FindINDs(db, spider.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exact INDs: %d (the dirty FK and the embedded codes are invisible)\n", len(exact.INDs))
+	for _, d := range exact.INDs {
+		fmt.Printf("  %s\n", d)
+	}
+
+	partials, _, err := spider.FindPartialINDs(db, spider.PartialOptions{Threshold: 0.9})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\npartial INDs at σ = 0.9:")
+	for _, p := range partials {
+		if p.Coverage < 1 { // show only what exact discovery missed
+			fmt.Printf("  %s — %d dangling values\n", p, p.Missing)
+		}
+	}
+
+	embedded, err := spider.FindEmbeddedINDs(db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nembedded-value INDs:")
+	for _, e := range embedded {
+		fmt.Printf("  %s\n", e)
+	}
+}

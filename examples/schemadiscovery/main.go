@@ -1,0 +1,40 @@
+// Schema discovery on an undocumented life-science database: the paper's
+// Sec 5 workflow. The example generates the UniProt/BioSQL-shaped dataset
+// (16 tables, 85 attributes, declared foreign keys as the gold standard),
+// discovers INDs, evaluates them against the declared constraints, and
+// identifies the primary relation via accession-number candidates.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spider"
+)
+
+func main() {
+	db := spider.GenerateUniProt(spider.DatasetConfig{Seed: 42, Scale: 0.2})
+	fmt.Printf("dataset: %d tables, %d attributes\n", len(db.Tables()), len(db.Columns()))
+
+	rep, err := spider.DiscoverSchema(db, spider.SchemaOptions{
+		Find: spider.Options{Algorithm: spider.SinglePass},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nforeign-key guesses (satisfied INDs): %d\n", len(rep.INDs))
+	e := rep.FKEvaluation
+	fmt.Printf("gold standard: %d declared FKs, %d found, %d on empty tables (unfindable), recall %.0f%%\n",
+		e.DeclaredFKs, e.FoundFKs, e.UnfindableEmpty, e.Recall*100)
+	fmt.Printf("extra INDs in the FK transitive closure: %d; false positives: %d\n",
+		e.TransitiveINDs, len(e.FalsePositives))
+
+	fmt.Printf("\naccession-number candidates (Sec 5 heuristic 1):\n")
+	for _, a := range rep.AccessionCandidates {
+		fmt.Printf("  %s\n", a.Ref)
+	}
+
+	fmt.Printf("\nprimary relation (Sec 5 heuristic 2): %s (%d referencing INDs)\n",
+		rep.PrimaryRelations[0].Table, rep.PrimaryRelations[0].ReferencingINDs)
+}

@@ -1,0 +1,170 @@
+package spider
+
+import (
+	"fmt"
+	"os"
+
+	"spider/internal/ind"
+)
+
+// This file exposes the paper's Sec 7 future-work extensions: partial
+// INDs on dirty data, the Sec 4.1 sampling pretest, and inclusion between
+// concatenated/embedded values ("144f" vs "PDB-144f").
+
+// PartialIND is a partial inclusion dependency: at least Coverage of the
+// distinct values of Dep occur in Ref.
+type PartialIND struct {
+	Dep, Ref ColumnRef
+	// Coverage is the measured fraction (1.0 = exact IND).
+	Coverage float64
+	// Missing is the number of distinct dependent values without a
+	// counterpart.
+	Missing int
+}
+
+// String renders the partial IND with its coverage.
+func (p PartialIND) String() string {
+	return fmt.Sprintf("%s ⊆ %s (%.1f%%)", p.Dep, p.Ref, p.Coverage*100)
+}
+
+// PartialOptions tunes FindPartialINDs.
+type PartialOptions struct {
+	// Threshold is σ in (0, 1]: the minimum fraction of distinct
+	// dependent values that must be covered.
+	Threshold float64
+	// WorkDir receives sorted value files; temporary when empty.
+	WorkDir string
+	// MaxValuePretest is NOT applied: a dependent maximum above the
+	// referenced maximum refutes only the exact IND, not a partial one.
+	// SamplingPretest is likewise unsound for partial INDs and skipped.
+}
+
+// FindPartialINDs discovers partial inclusion dependencies: the Sec 7
+// extension for dirty data, where a foreign key may hold for most but not
+// all values.
+func FindPartialINDs(db *Database, opts PartialOptions) ([]PartialIND, Stats, error) {
+	workDir := opts.WorkDir
+	if workDir == "" {
+		tmp, err := os.MkdirTemp("", "spider-partial-*")
+		if err != nil {
+			return nil, Stats{}, err
+		}
+		defer os.RemoveAll(tmp)
+		workDir = tmp
+	}
+	attrs, err := ind.Prepare(db.rel, ind.ExportConfig{Dir: workDir})
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	cands, _ := ind.GenerateCandidates(attrs, ind.GenOptions{})
+	res, err := ind.BruteForcePartial(cands, ind.PartialOptions{Threshold: opts.Threshold})
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	var out []PartialIND
+	for _, m := range res.Satisfied {
+		out = append(out, PartialIND{
+			Dep:      ColumnRef{Table: m.Dep.Table, Column: m.Dep.Column},
+			Ref:      ColumnRef{Table: m.Ref.Table, Column: m.Ref.Column},
+			Coverage: m.Coverage,
+			Missing:  m.Missing,
+		})
+	}
+	return out, Stats{
+		Candidates:  res.Stats.Candidates,
+		Satisfied:   res.Stats.Satisfied,
+		ItemsRead:   res.Stats.ItemsRead,
+		Comparisons: res.Stats.Comparisons,
+		Duration:    res.Stats.Duration,
+	}, nil
+}
+
+// EmbeddedIND is an inclusion between transformed dependent values and a
+// referenced attribute, e.g. xrefs.pdb_ref[after-dash] ⊆ entries.code.
+type EmbeddedIND struct {
+	Dep       ColumnRef
+	Transform string
+	Ref       ColumnRef
+}
+
+// String renders the embedded IND.
+func (e EmbeddedIND) String() string {
+	return fmt.Sprintf("%s[%s] ⊆ %s", e.Dep, e.Transform, e.Ref)
+}
+
+// NaryIND is a satisfied n-ary inclusion dependency; Dep[i] pairs with
+// Ref[i].
+type NaryIND struct {
+	Dep, Ref []ColumnRef
+}
+
+// String renders the IND as (a, b) ⊆ (x, y).
+func (n NaryIND) String() string {
+	render := func(cols []ColumnRef) string {
+		out := ""
+		for i, c := range cols {
+			if i > 0 {
+				out += ", "
+			}
+			out += c.String()
+		}
+		return out
+	}
+	return fmt.Sprintf("(%s) ⊆ (%s)", render(n.Dep), render(n.Ref))
+}
+
+// NaryOptions tunes FindNaryINDs.
+type NaryOptions struct {
+	// MaxArity bounds the levelwise search (default 4).
+	MaxArity int
+}
+
+// FindNaryINDs performs levelwise n-ary IND discovery (the multivalued
+// INDs of the paper's Sec 6 discussion, following De Marchi et al.'s
+// MIND): candidates of arity k are generated from satisfied INDs of
+// arity k-1 and verified against distinct tuple sets. Only INDs of arity
+// ≥ 2 are returned; use FindINDs for the unary level.
+func FindNaryINDs(db *Database, opts NaryOptions) ([]NaryIND, error) {
+	res, err := ind.DiscoverNary(db.rel, ind.NaryOptions{MaxArity: opts.MaxArity})
+	if err != nil {
+		return nil, err
+	}
+	var out []NaryIND
+	for _, d := range res.Satisfied {
+		n := NaryIND{}
+		for i := range d.Dep {
+			n.Dep = append(n.Dep, ColumnRef{Table: d.Dep[i].Table, Column: d.Dep[i].Column})
+			n.Ref = append(n.Ref, ColumnRef{Table: d.Ref[i].Table, Column: d.Ref[i].Column})
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// FindEmbeddedINDs discovers inclusions of embedded values (the paper's
+// "PDB-144f" example) using the standard transforms: after-dash,
+// before-dash and lowercase.
+func FindEmbeddedINDs(db *Database) ([]EmbeddedIND, error) {
+	tmp, err := os.MkdirTemp("", "spider-embedded-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(tmp)
+	attrs, err := ind.Prepare(db.rel, ind.ExportConfig{Dir: tmp})
+	if err != nil {
+		return nil, err
+	}
+	res, err := ind.FindEmbedded(db.rel, attrs, ind.EmbeddedOptions{Dir: tmp + "/derived"})
+	if err != nil {
+		return nil, err
+	}
+	var out []EmbeddedIND
+	for _, e := range res.Satisfied {
+		out = append(out, EmbeddedIND{
+			Dep:       ColumnRef{Table: e.Dep.Table, Column: e.Dep.Column},
+			Transform: e.Transform,
+			Ref:       ColumnRef{Table: e.Ref.Table, Column: e.Ref.Column},
+		})
+	}
+	return out, nil
+}

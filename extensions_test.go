@@ -1,0 +1,157 @@
+package spider
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func dirtyDatabase(t *testing.T) *Database {
+	t.Helper()
+	db := NewDatabase("dirty")
+	var parents, children [][]string
+	for i := 0; i < 100; i++ {
+		parents = append(parents, []string{fmt.Sprintf("%d", i)})
+	}
+	for i := 0; i < 45; i++ {
+		children = append(children, []string{fmt.Sprintf("%d", i)})
+	}
+	for i := 0; i < 5; i++ {
+		children = append(children, []string{fmt.Sprintf("%d", 90000+i)}) // dangling
+	}
+	if err := db.AddTable("parent", []string{"id"}, parents); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddTable("child", []string{"pid"}, children); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestFindPartialINDs(t *testing.T) {
+	db := dirtyDatabase(t)
+	// Exact discovery misses the dirty FK...
+	exact, err := FindINDs(db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range exact.INDs {
+		if d.Dep.Table == "child" {
+			t.Fatalf("exact IND unexpectedly holds: %s", d)
+		}
+	}
+	// ...partial discovery at σ=0.9 finds it with 90% coverage.
+	partials, stats, err := FindPartialINDs(db, PartialOptions{Threshold: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range partials {
+		if p.Dep.String() == "child.pid" && p.Ref.String() == "parent.id" {
+			found = true
+			if p.Coverage < 0.89 || p.Coverage > 0.91 || p.Missing != 5 {
+				t.Errorf("partial = %+v", p)
+			}
+			if !strings.Contains(p.String(), "90.0%") {
+				t.Errorf("String() = %q", p.String())
+			}
+		}
+	}
+	if !found {
+		t.Errorf("partial IND not found: %v", partials)
+	}
+	if stats.Candidates == 0 {
+		t.Error("stats missing")
+	}
+}
+
+func TestFindPartialINDsBadThreshold(t *testing.T) {
+	if _, _, err := FindPartialINDs(dirtyDatabase(t), PartialOptions{Threshold: 0}); err == nil {
+		t.Error("threshold 0 must fail")
+	}
+}
+
+func TestFindEmbeddedINDs(t *testing.T) {
+	db := NewDatabase("embed")
+	var entries, xrefs [][]string
+	for i := 0; i < 25; i++ {
+		code := fmt.Sprintf("%dxy%c", 1+i%9, 'a'+byte(i%26))
+		entries = append(entries, []string{code})
+		xrefs = append(xrefs, []string{"PDB-" + code})
+	}
+	if err := db.AddTable("entries", []string{"code"}, entries); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddTable("xrefs", []string{"pdb_ref"}, xrefs); err != nil {
+		t.Fatal(err)
+	}
+	embedded, err := FindEmbeddedINDs(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range embedded {
+		if e.Dep.String() == "xrefs.pdb_ref" && e.Transform == "after-dash" && e.Ref.String() == "entries.code" {
+			found = true
+			want := "xrefs.pdb_ref[after-dash] ⊆ entries.code"
+			if e.String() != want {
+				t.Errorf("String() = %q, want %q", e.String(), want)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("embedded IND not found: %v", embedded)
+	}
+}
+
+func TestFindNaryINDs(t *testing.T) {
+	db := NewDatabase("nary")
+	var parents, children [][]string
+	for i := 0; i < 20; i++ {
+		parents = append(parents, []string{fmt.Sprintf("%d", i), fmt.Sprintf("g%d", i%4)})
+	}
+	for i := 0; i < 12; i++ {
+		j := (i * 7) % 20
+		children = append(children, []string{fmt.Sprintf("%d", j), fmt.Sprintf("g%d", j%4)})
+	}
+	if err := db.AddTable("parent", []string{"id", "grp"}, parents); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddTable("child", []string{"pid", "pgrp"}, children); err != nil {
+		t.Fatal(err)
+	}
+	nary, err := FindNaryINDs(db, NaryOptions{MaxArity: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pairs are reported in canonical dep-column order.
+	want := "(child.pgrp, child.pid) ⊆ (parent.grp, parent.id)"
+	found := false
+	for _, d := range nary {
+		if d.String() == want {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("binary IND missing; got %v", nary)
+	}
+}
+
+func TestSamplingPretestOption(t *testing.T) {
+	db := GenerateUniProt(DatasetConfig{Scale: 0.05})
+	plain, err := FindINDs(db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled, err := FindINDs(db, Options{SamplingPretest: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.INDs) != len(sampled.INDs) {
+		t.Errorf("sampling pretest changed results: %d vs %d", len(plain.INDs), len(sampled.INDs))
+	}
+	if sampled.Stats.Candidates >= plain.Stats.Candidates {
+		t.Errorf("sampling pretest pruned nothing: %d vs %d",
+			sampled.Stats.Candidates, plain.Stats.Candidates)
+	}
+}

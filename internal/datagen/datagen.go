@@ -1,0 +1,90 @@
+// Package datagen builds deterministic synthetic datasets whose schema
+// shapes, value distributions and pathologies mirror the paper's three
+// test databases (Sec 1.4):
+//
+//   - UniProt in the BioSQL schema — 16 tables, 85 attributes, declared
+//     foreign keys (the Sec 5 gold standard), two FKs on empty tables,
+//     accession-number columns, FK chains yielding transitive INDs, and no
+//     accidental inclusions (the paper reports zero false positives);
+//   - SCOP — 4 tables, 22 attributes, small;
+//   - PDB in an OpenMMS-like schema — many tables, no declared foreign
+//     keys, and the surrogate-key pathology: "semantic-free integers whose
+//     ranges all begin at 1" as primary keys, producing INDs between
+//     almost all of these ID attributes (Sec 5).
+//
+// The real databases (667 MB / 17 MB / 21 GB dumps) are not available
+// offline; the generators reproduce the schema shapes and the value-set
+// relationships that the paper's findings depend on, scaled to laptop
+// size. Every generator is deterministic in its seed.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"spider/internal/relstore"
+	"spider/internal/value"
+)
+
+// letters used for synthetic identifiers.
+const letters = "abcdefghijklmnopqrstuvwxyz"
+
+// randWord returns a lowercase word of length n.
+func randWord(rng *rand.Rand, n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = letters[rng.Intn(len(letters))]
+	}
+	return string(b)
+}
+
+// randSentence builds free text with highly variable length, so that
+// description-like columns always fail the accession-number length
+// criterion.
+func randSentence(rng *rand.Rand, words int) string {
+	out := ""
+	for i := 0; i < words; i++ {
+		if i > 0 {
+			out += " "
+		}
+		out += randWord(rng, 2+rng.Intn(9))
+	}
+	return out
+}
+
+// pdbCode builds a 4-character PDB-style entry code such as "144f": one
+// digit followed by three alphanumerics, always containing a letter.
+func pdbCode(rng *rand.Rand, i int) string {
+	const alnum = "0123456789abcdefghijklmnopqrstuvwxyz"
+	return fmt.Sprintf("%d%c%c%c",
+		1+i%9,
+		alnum[(i/9)%36],
+		alnum[(i/(9*36))%36],
+		letters[rng.Intn(len(letters))])
+}
+
+// scaleN applies a scale factor with a floor of min.
+func scaleN(n int, scale float64, min int) int {
+	v := int(float64(n) * scale)
+	if v < min {
+		return min
+	}
+	return v
+}
+
+// ints converts int64s to values.
+func iv(x int) value.Value     { return value.NewInt(int64(x)) }
+func sv(s string) value.Value  { return value.NewString(s) }
+func fv(f float64) value.Value { return value.NewFloat(f) }
+
+// mustFK declares a foreign key and panics on schema errors; generators
+// control both sides.
+func mustFK(db *relstore.Database, depTable, depCol, refTable, refCol string) {
+	err := db.DeclareForeignKey(
+		relstore.ColumnRef{Table: depTable, Column: depCol},
+		relstore.ColumnRef{Table: refTable, Column: refCol},
+	)
+	if err != nil {
+		panic(err)
+	}
+}

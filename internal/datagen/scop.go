@@ -1,0 +1,120 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"spider/internal/relstore"
+	"spider/internal/value"
+)
+
+// SCOPConfig parameterises the SCOP-shaped dataset.
+type SCOPConfig struct {
+	Seed  int64
+	Scale float64
+}
+
+// SCOP builds a SCOP-shaped database (Sec 1.4): 4 tables, 22 attributes,
+// small overall — the paper's 17 MB dataset with 94,441 distinct values in
+// the largest attribute, scaled down. The tables mirror the SCOP parseable
+// files: cla (classification), des (descriptions), hie (hierarchy) and com
+// (comments). No foreign keys are declared (the source is a set of flat
+// files); the hierarchy and classification columns share the sunid domain,
+// which yields the dataset's handful of satisfied INDs.
+func SCOP(cfg SCOPConfig) *relstore.Database {
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	db := relstore.NewDatabase("scop")
+
+	nSunid := scaleN(3000, cfg.Scale, 60) // all nodes of the hierarchy
+	nDomains := nSunid / 3                // leaf domains classified in cla
+	const baseSunid = 100_000
+
+	// --- des: one description per node; sunid is the master set ------
+	des := db.MustCreateTable("des", []relstore.Column{
+		{Name: "sunid", Kind: value.Int},
+		{Name: "level", Kind: value.String},
+		{Name: "sccs", Kind: value.String},
+		{Name: "sid", Kind: value.String},
+		{Name: "description", Kind: value.String},
+	})
+	levels := []string{"cl", "cf", "sf", "fa", "dm", "sp", "px"}
+	sccs := make([]string, nSunid)
+	sids := make([]string, nSunid)
+	for i := 0; i < nSunid; i++ {
+		sccs[i] = fmt.Sprintf("%c.%d.%d.%d", 'a'+byte(i%7), i%60, i%40, i%20)
+		sids[i] = fmt.Sprintf("d%s%c%c", pdbCode(rng, i), 'a'+byte(i%3), '_')
+		des.MustInsert(
+			iv(baseSunid+i),
+			sv(levels[i%len(levels)]),
+			sv(sccs[i]),
+			sv(sids[i]),
+			sv(randSentence(rng, 2+rng.Intn(8))),
+		)
+	}
+
+	// --- hie: hierarchy over the same sunids --------------------------
+	hie := db.MustCreateTable("hie", []relstore.Column{
+		{Name: "sunid", Kind: value.Int},
+		{Name: "parent_sunid", Kind: value.Int},
+		{Name: "children", Kind: value.String},
+	})
+	for i := 0; i < nSunid; i++ {
+		parent := value.NewNull()
+		if i > 0 {
+			parent = iv(baseSunid + rng.Intn(i))
+		}
+		hie.MustInsert(
+			iv(baseSunid+i),
+			parent,
+			sv(fmt.Sprintf("ch_%d,%d", rng.Intn(nSunid), rng.Intn(nSunid))),
+		)
+	}
+
+	// --- cla: classification of leaf domains ---------------------------
+	cla := db.MustCreateTable("cla", []relstore.Column{
+		{Name: "sid", Kind: value.String},
+		{Name: "pdb_id", Kind: value.String},
+		{Name: "residues", Kind: value.String},
+		{Name: "sccs", Kind: value.String},
+		{Name: "sunid_cl", Kind: value.Int},
+		{Name: "sunid_cf", Kind: value.Int},
+		{Name: "sunid_sf", Kind: value.Int},
+		{Name: "sunid_fa", Kind: value.Int},
+		{Name: "sunid_dm", Kind: value.Int},
+		{Name: "sunid_sp", Kind: value.Int},
+		{Name: "sunid_px", Kind: value.Int},
+	})
+	for i := 0; i < nDomains; i++ {
+		cla.MustInsert(
+			sv(sids[i]),
+			sv(pdbCode(rng, i)),
+			sv(fmt.Sprintf("%c:%d-%d", 'A'+byte(i%4), rng.Intn(50), 50+rng.Intn(400))),
+			sv(sccs[i]),
+			iv(baseSunid+i%7),
+			iv(baseSunid+i%60),
+			iv(baseSunid+i%300),
+			iv(baseSunid+i%900),
+			iv(baseSunid+i%(nSunid/2)),
+			iv(baseSunid+i%(nSunid*2/3)),
+			iv(baseSunid+i),
+		)
+	}
+
+	// --- com: comments on a subset of nodes ------------------------------
+	com := db.MustCreateTable("com", []relstore.Column{
+		{Name: "sunid", Kind: value.Int},
+		{Name: "comment_text", Kind: value.String},
+		{Name: "flag", Kind: value.String},
+	})
+	for i := 0; i < nSunid/4; i++ {
+		com.MustInsert(
+			iv(baseSunid+rng.Intn(nSunid)),
+			sv(randSentence(rng, 3+rng.Intn(9))),
+			sv([]string{"ok", "rev", "obs"}[rng.Intn(3)]),
+		)
+	}
+	return db
+}

@@ -1,0 +1,420 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"spider/internal/relstore"
+	"spider/internal/value"
+)
+
+// UniProtConfig parameterises the BioSQL-shaped dataset.
+type UniProtConfig struct {
+	// Seed drives all randomness; equal seeds give identical databases.
+	Seed int64
+	// Scale multiplies row counts; 1.0 yields roughly 15k rows total.
+	Scale float64
+}
+
+// UniProt builds a BioSQL-shaped database: 16 tables, 85 attributes,
+// declared foreign keys as the gold standard, two foreign keys defined on
+// empty tables (sg_comment, sg_term_synonym — the two the paper's
+// algorithm cannot find from data), FK chains that put extra INDs in the
+// transitive closure, and three accession-number candidates
+// (sg_bioentry.accession, sg_reference.crc, sg_ontology.name) of which
+// heuristic 2 must single out sg_bioentry as the primary relation.
+//
+// Integer keys of different tables live in disjoint ranges (as produced by
+// per-table sequences), so no accidental INDs arise: every satisfied IND
+// is a declared FK or in their transitive closure, matching the paper's
+// "no false positives were produced".
+func UniProt(cfg UniProtConfig) *relstore.Database {
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	db := relstore.NewDatabase("uniprot_biosql")
+
+	nBiodatabase := 4
+	nTaxon := scaleN(300, cfg.Scale, 20)
+	nOntology := 6
+	nTerm := scaleN(200, cfg.Scale, 15)
+	nDbxref := scaleN(500, cfg.Scale, 25)
+	nBioentry := scaleN(1000, cfg.Scale, 40)
+	nBiosequence := scaleN(800, cfg.Scale, 30) // strict subset of bioentries
+	nReference := scaleN(300, cfg.Scale, 20)
+	nBioentryRef := scaleN(1500, cfg.Scale, 50)
+	nBioentryDbxref := scaleN(1200, cfg.Scale, 40)
+	nSeqfeature := scaleN(2000, cfg.Scale, 60)
+	nLocation := scaleN(2500, cfg.Scale, 70)
+	nQualifier := scaleN(1800, cfg.Scale, 50)
+	nTaxonName := scaleN(600, cfg.Scale, 30)
+	if nBiosequence >= nBioentry {
+		nBiosequence = nBioentry - 1
+	}
+
+	// Disjoint surrogate key ranges, one per table family (per-table
+	// sequences, as a production Oracle schema would have).
+	const (
+		baseBiodatabase = 1_000_000
+		baseTaxon       = 2_000_000
+		baseOntology    = 3_000_000
+		baseTerm        = 4_000_000
+		baseDbxref      = 5_000_000
+		baseBioentry    = 6_000_000
+		baseReference   = 7_000_000
+		baseSeqfeature  = 8_000_000
+		baseLocation    = 9_000_000
+	)
+
+	// --- sg_biodatabase (4 cols) -------------------------------------
+	biodatabase := db.MustCreateTable("sg_biodatabase", []relstore.Column{
+		{Name: "oid", Kind: value.Int},
+		{Name: "name", Kind: value.String},
+		{Name: "authority", Kind: value.String},
+		{Name: "description", Kind: value.String},
+	})
+	for i := 0; i < nBiodatabase; i++ {
+		biodatabase.MustInsert(
+			iv(baseBiodatabase+i),
+			sv(fmt.Sprintf("biodb_%s", randWord(rng, 3+rng.Intn(8)))),
+			sv("authority_"+randWord(rng, 2+rng.Intn(10))),
+			sv(randSentence(rng, 3+rng.Intn(8))),
+		)
+	}
+
+	// --- sg_taxon (7 cols) --------------------------------------------
+	taxon := db.MustCreateTable("sg_taxon", []relstore.Column{
+		{Name: "oid", Kind: value.Int},
+		{Name: "ncbi_taxon_id", Kind: value.Int},
+		{Name: "parent_taxon_oid", Kind: value.Int},
+		{Name: "node_rank", Kind: value.String},
+		{Name: "genetic_code", Kind: value.Int},
+		{Name: "mito_genetic_code", Kind: value.Int},
+		{Name: "left_value", Kind: value.Int},
+		{Name: "right_value", Kind: value.Int},
+	})
+	ranks := []string{"species", "genus", "family", "order", "class", "phylum"}
+	for i := 0; i < nTaxon; i++ {
+		parent := value.NewNull()
+		if i > 0 {
+			parent = iv(baseTaxon + rng.Intn(i)) // parent among earlier taxa
+		}
+		taxon.MustInsert(
+			iv(baseTaxon+i),
+			iv(10_000_000+i*7),
+			parent,
+			sv(ranks[rng.Intn(len(ranks))]),
+			iv(1+rng.Intn(25)),
+			iv(1+rng.Intn(25)),
+			iv(20_000_000+2*i),
+			iv(20_000_000+2*i+1),
+		)
+	}
+	mustFK(db, "sg_taxon", "parent_taxon_oid", "sg_taxon", "oid")
+
+	// --- sg_ontology (3 cols) ------------------------------------------
+	// Names are uniform-length controlled vocabulary labels, deliberately
+	// qualifying as accession-number candidates (≥ 4 chars, letters,
+	// lengths within 20%), as the paper observed for sg_ontology.name.
+	ontology := db.MustCreateTable("sg_ontology", []relstore.Column{
+		{Name: "oid", Kind: value.Int},
+		{Name: "name", Kind: value.String},
+		{Name: "definition", Kind: value.String},
+	})
+	ontologyNames := []string{
+		"anno_tag_core", "anno_tag_ncbi", "anno_tag_embl",
+		"relation_core", "relation_goid", "category_main",
+	}
+	for i := 0; i < nOntology; i++ {
+		ontology.MustInsert(
+			iv(baseOntology+i),
+			sv(ontologyNames[i%len(ontologyNames)]),
+			sv(randSentence(rng, 4+rng.Intn(9))),
+		)
+	}
+
+	// --- sg_term (6 cols) ----------------------------------------------
+	term := db.MustCreateTable("sg_term", []relstore.Column{
+		{Name: "oid", Kind: value.Int},
+		{Name: "name", Kind: value.String},
+		{Name: "definition", Kind: value.String},
+		{Name: "identifier", Kind: value.String},
+		{Name: "is_obsolete", Kind: value.String},
+		{Name: "term_type", Kind: value.String},
+		{Name: "ontology_oid", Kind: value.Int},
+	})
+	for i := 0; i < nTerm; i++ {
+		term.MustInsert(
+			iv(baseTerm+i),
+			sv("term_"+randWord(rng, 2+rng.Intn(12))),
+			sv(randSentence(rng, 2+rng.Intn(10))),
+			sv(fmt.Sprintf("%07d", i)), // digits only: fails letter criterion
+			sv([]string{"n", "n", "n", "y"}[rng.Intn(4)]),
+			sv([]string{"keyword", "feature key", "qualifier x"}[rng.Intn(3)]),
+			iv(baseOntology+rng.Intn(nOntology)),
+		)
+	}
+	mustFK(db, "sg_term", "ontology_oid", "sg_ontology", "oid")
+
+	// --- sg_dbxref (4 cols) ---------------------------------------------
+	// Accessions of wildly varying length: fails the 20% length criterion.
+	dbxref := db.MustCreateTable("sg_dbxref", []relstore.Column{
+		{Name: "oid", Kind: value.Int},
+		{Name: "dbname", Kind: value.String},
+		{Name: "accession", Kind: value.String},
+		{Name: "version", Kind: value.Int},
+		{Name: "description", Kind: value.String},
+	})
+	for i := 0; i < nDbxref; i++ {
+		acc := fmt.Sprintf("GO:%04d", i)
+		if i%3 == 0 {
+			acc = fmt.Sprintf("InterPro:IPR%06d", i)
+		}
+		dbxref.MustInsert(
+			iv(baseDbxref+i),
+			sv([]string{"go", "interpro", "pfam", "prosite"}[rng.Intn(4)]),
+			sv(acc),
+			iv(1+rng.Intn(3)),
+			sv(randSentence(rng, 2+rng.Intn(7))),
+		)
+	}
+
+	// --- sg_bioentry (9 cols) --------------------------------------------
+	// The primary relation: accession is a model accession number
+	// (fixed-length, letter+digits), and oid is the FK hub.
+	bioentry := db.MustCreateTable("sg_bioentry", []relstore.Column{
+		{Name: "oid", Kind: value.Int},
+		{Name: "biodatabase_oid", Kind: value.Int},
+		{Name: "taxon_oid", Kind: value.Int},
+		{Name: "name", Kind: value.String},
+		{Name: "accession", Kind: value.String},
+		{Name: "identifier", Kind: value.String},
+		{Name: "division", Kind: value.String},
+		{Name: "description", Kind: value.String},
+		{Name: "version", Kind: value.Int},
+		{Name: "molecule_type", Kind: value.String},
+		{Name: "organelle", Kind: value.String},
+	})
+	for i := 0; i < nBioentry; i++ {
+		organelle := value.NewNull()
+		if rng.Intn(3) == 0 {
+			organelle = sv([]string{"mitochondrion", "chloroplast", "plastid x"}[rng.Intn(3)])
+		}
+		bioentry.MustInsert(
+			iv(baseBioentry+i),
+			iv(baseBiodatabase+rng.Intn(nBiodatabase)),
+			iv(baseTaxon+rng.Intn(nTaxon)),
+			sv(fmt.Sprintf("%s_%s", randWord(rng, 3+rng.Intn(5)), randWord(rng, 2+rng.Intn(7)))),
+			sv(fmt.Sprintf("P%05d", 10000+i)), // accession: 6 chars, fixed
+			sv(fmt.Sprintf("%08d", 40000000+i)),
+			sv([]string{"PLN", "HUM", "ROD", "MAM", "VRT", "INV"}[rng.Intn(6)]),
+			sv(randSentence(rng, 4+rng.Intn(12))),
+			iv(1+rng.Intn(4)),
+			sv([]string{"protein seq", "mrna", "dna genomic stuff"}[rng.Intn(3)]),
+			organelle,
+		)
+	}
+	mustFK(db, "sg_bioentry", "biodatabase_oid", "sg_biodatabase", "oid")
+	mustFK(db, "sg_bioentry", "taxon_oid", "sg_taxon", "oid")
+
+	// --- sg_biosequence (5 cols) -----------------------------------------
+	// One row per *subset* of bioentries (a strict subset avoids the
+	// reverse inclusion, keeping "no false positives" true), keyed by the
+	// bioentry oid: the middle link of the FK chains. Several annotation
+	// tables declare their FKs against this 1:1 table, so their inclusion
+	// in sg_bioentry.oid is discovered as a transitive-closure IND — the
+	// effect behind the paper's "11 INDs that are in the transitive
+	// closure of the foreign key definitions".
+	biosequence := db.MustCreateTable("sg_biosequence", []relstore.Column{
+		{Name: "bioentry_oid", Kind: value.Int},
+		{Name: "version", Kind: value.Int},
+		{Name: "length", Kind: value.Int},
+		{Name: "alphabet", Kind: value.String},
+		{Name: "checksum", Kind: value.String},
+		{Name: "seq", Kind: value.LOB},
+	})
+	for i := 0; i < nBiosequence; i++ {
+		biosequence.MustInsert(
+			iv(baseBioentry+i), // bioentries 0..nBiosequence-1
+			iv(1+rng.Intn(3)),
+			iv(30_000_000+rng.Intn(5000)),
+			sv([]string{"protein", "dna", "rna"}[rng.Intn(3)]),
+			sv(fmt.Sprintf("99%08d", rng.Intn(100_000_000))),
+			value.NewLOB(randWord(rng, 60+rng.Intn(200))),
+		)
+	}
+	mustFK(db, "sg_biosequence", "bioentry_oid", "sg_bioentry", "oid")
+
+	// --- sg_reference (5 cols) -------------------------------------------
+	// crc is a fixed-length hex digest: the second accession-number
+	// candidate of the paper.
+	reference := db.MustCreateTable("sg_reference", []relstore.Column{
+		{Name: "oid", Kind: value.Int},
+		{Name: "dbxref_oid", Kind: value.Int},
+		{Name: "title", Kind: value.String},
+		{Name: "authors", Kind: value.String},
+		{Name: "medline", Kind: value.String},
+		{Name: "crc", Kind: value.String},
+	})
+	for i := 0; i < nReference; i++ {
+		reference.MustInsert(
+			iv(baseReference+i),
+			iv(baseDbxref+rng.Intn(nDbxref)),
+			sv(randSentence(rng, 5+rng.Intn(10))),
+			sv(randSentence(rng, 2+rng.Intn(6))),
+			sv(fmt.Sprintf("88%07d", rng.Intn(10_000_000))),
+			sv(fmt.Sprintf("crc%013x", rng.Int63n(1<<52))),
+		)
+	}
+	mustFK(db, "sg_reference", "dbxref_oid", "sg_dbxref", "oid")
+
+	// --- sg_bioentry_reference (5 cols) -----------------------------------
+	bioentryRef := db.MustCreateTable("sg_bioentry_reference", []relstore.Column{
+		{Name: "bioentry_oid", Kind: value.Int},
+		{Name: "reference_oid", Kind: value.Int},
+		{Name: "start_pos", Kind: value.Int},
+		{Name: "end_pos", Kind: value.Int},
+		{Name: "rank", Kind: value.Int},
+	})
+	for i := 0; i < nBioentryRef; i++ {
+		s := 50_000_000 + rng.Intn(900)
+		bioentryRef.MustInsert(
+			iv(baseBioentry+rng.Intn(nBiosequence)),
+			iv(baseReference+rng.Intn(nReference)),
+			iv(s),
+			iv(s+rng.Intn(500)),
+			iv(60_000_000+rng.Intn(9)),
+		)
+	}
+	mustFK(db, "sg_bioentry_reference", "bioentry_oid", "sg_biosequence", "bioentry_oid")
+	mustFK(db, "sg_bioentry_reference", "reference_oid", "sg_reference", "oid")
+
+	// --- sg_bioentry_dbxref (3 cols) ---------------------------------------
+	bioentryDbxref := db.MustCreateTable("sg_bioentry_dbxref", []relstore.Column{
+		{Name: "bioentry_oid", Kind: value.Int},
+		{Name: "dbxref_oid", Kind: value.Int},
+		{Name: "rank", Kind: value.Int},
+	})
+	for i := 0; i < nBioentryDbxref; i++ {
+		bioentryDbxref.MustInsert(
+			iv(baseBioentry+rng.Intn(nBiosequence)),
+			iv(baseDbxref+rng.Intn(nDbxref)),
+			iv(61_000_000+rng.Intn(9)),
+		)
+	}
+	mustFK(db, "sg_bioentry_dbxref", "bioentry_oid", "sg_biosequence", "bioentry_oid")
+	mustFK(db, "sg_bioentry_dbxref", "dbxref_oid", "sg_dbxref", "oid")
+
+	// --- sg_seqfeature (6 cols) ---------------------------------------------
+	// bioentry_oid draws only from biosequence-covered bioentries: the
+	// dependent of an FK chain sg_seqfeature.bioentry_oid ⊆
+	// sg_biosequence.bioentry_oid ⊆ sg_bioentry.oid, whose closure the
+	// discovery must also report.
+	seqfeature := db.MustCreateTable("sg_seqfeature", []relstore.Column{
+		{Name: "oid", Kind: value.Int},
+		{Name: "bioentry_oid", Kind: value.Int},
+		{Name: "type_term_oid", Kind: value.Int},
+		{Name: "source_term_oid", Kind: value.Int},
+		{Name: "display_name", Kind: value.String},
+		{Name: "rank", Kind: value.Int},
+	})
+	for i := 0; i < nSeqfeature; i++ {
+		seqfeature.MustInsert(
+			iv(baseSeqfeature+i),
+			iv(baseBioentry+rng.Intn(nBiosequence)),
+			iv(baseTerm+rng.Intn(nTerm)),
+			iv(baseTerm+rng.Intn(nTerm)),
+			sv("feat_"+randWord(rng, 2+rng.Intn(10))),
+			iv(62_000_000+rng.Intn(9)),
+		)
+	}
+	mustFK(db, "sg_seqfeature", "bioentry_oid", "sg_biosequence", "bioentry_oid")
+	mustFK(db, "sg_seqfeature", "type_term_oid", "sg_term", "oid")
+	mustFK(db, "sg_seqfeature", "source_term_oid", "sg_term", "oid")
+
+	// --- sg_location (7 cols) -------------------------------------------------
+	location := db.MustCreateTable("sg_location", []relstore.Column{
+		{Name: "oid", Kind: value.Int},
+		{Name: "seqfeature_oid", Kind: value.Int},
+		{Name: "dbxref_oid", Kind: value.Int},
+		{Name: "start_pos", Kind: value.Int},
+		{Name: "end_pos", Kind: value.Int},
+		{Name: "strand", Kind: value.Int},
+		{Name: "rank", Kind: value.Int},
+		{Name: "location_type", Kind: value.String},
+	})
+	for i := 0; i < nLocation; i++ {
+		s := 51_000_000 + rng.Intn(900)
+		dbx := value.NewNull()
+		if rng.Intn(4) == 0 {
+			dbx = iv(baseDbxref + rng.Intn(nDbxref))
+		}
+		location.MustInsert(
+			iv(baseLocation+i),
+			iv(baseSeqfeature+rng.Intn(nSeqfeature)),
+			dbx,
+			iv(s),
+			iv(s+rng.Intn(300)),
+			iv(63_000_000+rng.Intn(3)),
+			iv(64_000_000+rng.Intn(9)),
+			sv([]string{"exact", "fuzzy span", "between xy"}[rng.Intn(3)]),
+		)
+	}
+	mustFK(db, "sg_location", "seqfeature_oid", "sg_seqfeature", "oid")
+	mustFK(db, "sg_location", "dbxref_oid", "sg_dbxref", "oid")
+
+	// --- sg_bioentry_qualifier_value (4 cols) ----------------------------------
+	qualifier := db.MustCreateTable("sg_bioentry_qualifier_value", []relstore.Column{
+		{Name: "bioentry_oid", Kind: value.Int},
+		{Name: "term_oid", Kind: value.Int},
+		{Name: "value", Kind: value.String},
+		{Name: "rank", Kind: value.Int},
+	})
+	for i := 0; i < nQualifier; i++ {
+		qualifier.MustInsert(
+			iv(baseBioentry+rng.Intn(nBiosequence)),
+			iv(baseTerm+rng.Intn(nTerm)),
+			sv(randSentence(rng, 1+rng.Intn(6))),
+			iv(65_000_000+rng.Intn(9)),
+		)
+	}
+	mustFK(db, "sg_bioentry_qualifier_value", "bioentry_oid", "sg_biosequence", "bioentry_oid")
+	mustFK(db, "sg_bioentry_qualifier_value", "term_oid", "sg_term", "oid")
+
+	// --- sg_taxon_name (3 cols) --------------------------------------------------
+	taxonName := db.MustCreateTable("sg_taxon_name", []relstore.Column{
+		{Name: "taxon_oid", Kind: value.Int},
+		{Name: "name", Kind: value.String},
+		{Name: "name_class", Kind: value.String},
+	})
+	for i := 0; i < nTaxonName; i++ {
+		taxonName.MustInsert(
+			iv(baseTaxon+rng.Intn(nTaxon)),
+			sv("taxname_"+randWord(rng, 2+rng.Intn(12))),
+			sv([]string{"scientific name", "synonym", "common name"}[rng.Intn(3)]),
+		)
+	}
+	mustFK(db, "sg_taxon_name", "taxon_oid", "sg_taxon", "oid")
+
+	// --- sg_comment (4 cols, EMPTY) --------------------------------------------------
+	// One of the two tables whose declared FK the algorithm cannot find:
+	// "two foreign keys that are defined on empty tables and obviously
+	// cannot be found when regarding the data" (Sec 5).
+	db.MustCreateTable("sg_comment", []relstore.Column{
+		{Name: "oid", Kind: value.Int},
+		{Name: "bioentry_oid", Kind: value.Int},
+		{Name: "comment_text", Kind: value.String},
+		{Name: "rank", Kind: value.Int},
+	})
+	mustFK(db, "sg_comment", "bioentry_oid", "sg_bioentry", "oid")
+
+	// --- sg_term_synonym (2 cols, EMPTY) ------------------------------------------------
+	db.MustCreateTable("sg_term_synonym", []relstore.Column{
+		{Name: "synonym", Kind: value.String},
+		{Name: "term_oid", Kind: value.Int},
+	})
+	mustFK(db, "sg_term_synonym", "term_oid", "sg_term", "oid")
+
+	return db
+}

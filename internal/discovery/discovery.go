@@ -1,0 +1,242 @@
+// Package discovery implements the schema-discovery heuristics of Sec 5:
+// evaluating discovered INDs against declared foreign keys, detecting
+// accession-number candidates, and identifying a database's primary
+// relation.
+package discovery
+
+import (
+	"sort"
+	"strings"
+
+	"spider/internal/ind"
+	"spider/internal/relstore"
+	"spider/internal/value"
+)
+
+// FKEvaluation compares discovered INDs against the declared foreign keys
+// (the gold standard, as with BioSQL in Sec 5).
+type FKEvaluation struct {
+	// DeclaredFKs is the number of declared foreign keys.
+	DeclaredFKs int
+	// FoundFKs counts declared FKs discovered as satisfied INDs.
+	FoundFKs int
+	// UnfindableEmpty counts declared FKs whose dependent table is empty —
+	// "foreign keys that are defined on empty tables and obviously cannot
+	// be found when regarding the data".
+	UnfindableEmpty int
+	// MissedFKs lists declared FKs on non-empty tables that were not
+	// discovered (should be empty for a correct algorithm).
+	MissedFKs []relstore.ForeignKey
+	// TransitiveINDs counts discovered INDs that are not declared FKs but
+	// lie in the transitive closure of the declared FKs.
+	TransitiveINDs int
+	// FalsePositives lists discovered INDs outside the FK closure.
+	FalsePositives []ind.IND
+}
+
+// Recall returns found / findable declared FKs.
+func (e FKEvaluation) Recall() float64 {
+	findable := e.DeclaredFKs - e.UnfindableEmpty
+	if findable == 0 {
+		return 1
+	}
+	return float64(e.FoundFKs) / float64(findable)
+}
+
+// EvaluateForeignKeys checks the INDs discovered on db against its
+// declared foreign keys.
+func EvaluateForeignKeys(db *relstore.Database, inds []ind.IND) FKEvaluation {
+	key := func(dep, ref relstore.ColumnRef) string { return dep.String() + "\x00" + ref.String() }
+	found := make(map[string]bool, len(inds))
+	for _, d := range inds {
+		found[key(d.Dep, d.Ref)] = true
+	}
+
+	eval := FKEvaluation{}
+	declared := make(map[string]bool)
+	adj := make(map[string][]string) // dep column -> ref columns (declared edges)
+	for _, fk := range db.ForeignKeys() {
+		eval.DeclaredFKs++
+		k := key(fk.Dep, fk.Ref)
+		declared[k] = true
+		adj[fk.Dep.String()] = append(adj[fk.Dep.String()], fk.Ref.String())
+		if t := db.Table(fk.Dep.Table); t != nil && t.RowCount() == 0 {
+			eval.UnfindableEmpty++
+			continue
+		}
+		if found[k] {
+			eval.FoundFKs++
+		} else {
+			eval.MissedFKs = append(eval.MissedFKs, fk)
+		}
+	}
+
+	closure := closeTransitively(adj)
+	for _, d := range inds {
+		k := key(d.Dep, d.Ref)
+		if declared[k] {
+			continue
+		}
+		if closure[d.Dep.String()][d.Ref.String()] {
+			eval.TransitiveINDs++
+		} else {
+			eval.FalsePositives = append(eval.FalsePositives, d)
+		}
+	}
+	return eval
+}
+
+// closeTransitively computes reachability over the declared FK edges.
+func closeTransitively(adj map[string][]string) map[string]map[string]bool {
+	out := make(map[string]map[string]bool, len(adj))
+	for start := range adj {
+		seen := make(map[string]bool)
+		stack := append([]string(nil), adj[start]...)
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if seen[n] {
+				continue
+			}
+			seen[n] = true
+			stack = append(stack, adj[n]...)
+		}
+		delete(seen, start)
+		out[start] = seen
+	}
+	return out
+}
+
+// AccessionOptions tunes the accession-number heuristic.
+type AccessionOptions struct {
+	// MinFraction is the fraction of a column's non-null values that must
+	// satisfy the criteria. 1.0 is the strict rule; the paper also reports
+	// a softened run "such that only 99.98% of a column's values must
+	// fulfill the first criteria".
+	MinFraction float64
+}
+
+// AccessionCandidate is a column whose values look like accession numbers.
+type AccessionCandidate struct {
+	Ref relstore.ColumnRef
+	// Fraction is the share of non-null values satisfying the criteria.
+	Fraction float64
+}
+
+// AccessionCandidates applies the paper's heuristic 1: an accession-number
+// candidate column has values that are "at least four characters long,
+// contain at least one character [letter], and must not differ in length
+// more than 20%". LOB columns and empty columns are skipped.
+func AccessionCandidates(db *relstore.Database, opts AccessionOptions) ([]AccessionCandidate, error) {
+	if opts.MinFraction <= 0 || opts.MinFraction > 1 {
+		opts.MinFraction = 1
+	}
+	var out []AccessionCandidate
+	for _, tab := range db.Tables() {
+		for _, col := range tab.Columns {
+			if col.Kind == value.LOB {
+				continue
+			}
+			total, good := 0, 0
+			minLen, maxLen := 0, 0
+			_, err := tab.ScanColumn(col.Name, func(v value.Value) {
+				if v.IsNull() {
+					return
+				}
+				total++
+				s := v.Canonical()
+				if !valueLooksLikeAccession(s) {
+					return
+				}
+				good++
+				n := len(s)
+				if good == 1 {
+					minLen, maxLen = n, n
+					return
+				}
+				if n < minLen {
+					minLen = n
+				}
+				if n > maxLen {
+					maxLen = n
+				}
+			})
+			if err != nil {
+				return nil, err
+			}
+			if total == 0 || good == 0 {
+				continue
+			}
+			frac := float64(good) / float64(total)
+			if frac < opts.MinFraction {
+				continue
+			}
+			// Length criterion over the qualifying values: lengths must
+			// not differ by more than 20%.
+			if maxLen == 0 || float64(maxLen-minLen)/float64(maxLen) > 0.20 {
+				continue
+			}
+			out = append(out, AccessionCandidate{
+				Ref:      relstore.ColumnRef{Table: tab.Name, Column: col.Name},
+				Fraction: frac,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Ref.String() < out[j].Ref.String() })
+	return out, nil
+}
+
+// valueLooksLikeAccession checks the per-value criteria: length ≥ 4 and at
+// least one letter.
+func valueLooksLikeAccession(s string) bool {
+	if len(s) < 4 {
+		return false
+	}
+	return strings.IndexFunc(s, func(r rune) bool {
+		return (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+	}) >= 0
+}
+
+// PrimaryCandidate is one relation ranked by the primary-relation
+// heuristic.
+type PrimaryCandidate struct {
+	Table string
+	// ReferencingINDs is the number of discovered INDs whose referenced
+	// attribute lies in Table (heuristic 2).
+	ReferencingINDs int
+	// AccessionColumns lists the table's accession-number candidates
+	// (heuristic 1 requires at least one).
+	AccessionColumns []relstore.ColumnRef
+}
+
+// PrimaryRelation applies the paper's two heuristics: (1) a primary
+// relation must contain an accession-number candidate; (2) among those,
+// "the number of INDs referencing any attribute in a relation ... is
+// maximal for the primary relation". The full ranking is returned,
+// descending by referencing INDs; ties are broken alphabetically so the
+// result is deterministic.
+func PrimaryRelation(db *relstore.Database, inds []ind.IND, accessions []AccessionCandidate) []PrimaryCandidate {
+	accByTable := make(map[string][]relstore.ColumnRef)
+	for _, a := range accessions {
+		accByTable[a.Ref.Table] = append(accByTable[a.Ref.Table], a.Ref)
+	}
+	refCount := make(map[string]int)
+	for _, d := range inds {
+		refCount[d.Ref.Table]++
+	}
+	var out []PrimaryCandidate
+	for table, cols := range accByTable {
+		out = append(out, PrimaryCandidate{
+			Table:            table,
+			ReferencingINDs:  refCount[table],
+			AccessionColumns: cols,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ReferencingINDs != out[j].ReferencingINDs {
+			return out[i].ReferencingINDs > out[j].ReferencingINDs
+		}
+		return out[i].Table < out[j].Table
+	})
+	return out
+}

@@ -1,0 +1,364 @@
+// Package extsort provides external merge sort with duplicate elimination.
+// It plays the role of the RDBMS sort in the paper's database-external
+// approaches (Sec 3): "We first extract from the database the sorted sets
+// of distinct values of each attribute using SQL" — here, each attribute's
+// bag of values v(a) is pushed through a Sorter, which spills sorted
+// deduplicated runs to disk when its memory budget is exceeded and k-way
+// merges them into the final sorted distinct set s(a).
+package extsort
+
+import (
+	"container/heap"
+	"fmt"
+	"os"
+	"sort"
+
+	"spider/internal/valfile"
+)
+
+// Config bounds the sorter's resources.
+type Config struct {
+	// MaxInMemory is the maximum number of values buffered before a run is
+	// spilled to disk. Zero selects DefaultMaxInMemory.
+	MaxInMemory int
+	// TempDir receives spill runs. Empty selects os.TempDir().
+	TempDir string
+	// FanIn bounds how many runs one merge pass reads at once; when more
+	// runs exist, intermediate merge passes combine them first. This keeps
+	// the number of open files bounded — the very constraint that stops
+	// the paper's single-pass algorithm at 2560 attributes (Sec 4.2).
+	// Zero selects DefaultFanIn.
+	FanIn int
+}
+
+// DefaultMaxInMemory is the spill threshold when Config.MaxInMemory is 0.
+const DefaultMaxInMemory = 1 << 16
+
+// DefaultFanIn is the merge fan-in when Config.FanIn is 0.
+const DefaultFanIn = 64
+
+// Sorter accumulates values and produces their sorted distinct set.
+type Sorter struct {
+	cfg    Config
+	buf    []string
+	runs   []string
+	added  int64
+	closed bool
+}
+
+// New returns a Sorter with the given configuration.
+func New(cfg Config) *Sorter {
+	if cfg.MaxInMemory <= 0 {
+		cfg.MaxInMemory = DefaultMaxInMemory
+	}
+	if cfg.TempDir == "" {
+		cfg.TempDir = os.TempDir()
+	}
+	if cfg.FanIn <= 1 {
+		cfg.FanIn = DefaultFanIn
+	}
+	return &Sorter{cfg: cfg}
+}
+
+// Add buffers one value, spilling a run if the memory budget is reached.
+func (s *Sorter) Add(v string) error {
+	if s.closed {
+		return fmt.Errorf("extsort: Add after finish")
+	}
+	s.buf = append(s.buf, v)
+	s.added++
+	if len(s.buf) >= s.cfg.MaxInMemory {
+		return s.spill()
+	}
+	return nil
+}
+
+// Added returns the number of values pushed so far (with duplicates).
+func (s *Sorter) Added() int64 { return s.added }
+
+// spill sorts and deduplicates the buffer into a new run file.
+func (s *Sorter) spill() error {
+	if len(s.buf) == 0 {
+		return nil
+	}
+	sortDedup(&s.buf)
+	f, err := os.CreateTemp(s.cfg.TempDir, "extsort-run-*.val")
+	if err != nil {
+		return fmt.Errorf("extsort: %w", err)
+	}
+	path := f.Name()
+	f.Close()
+	if _, err := valfile.WriteAll(path, s.buf); err != nil {
+		os.Remove(path)
+		return err
+	}
+	s.runs = append(s.runs, path)
+	s.buf = s.buf[:0]
+	return nil
+}
+
+// sortDedup sorts *vals and removes duplicates in place.
+func sortDedup(vals *[]string) {
+	v := *vals
+	sort.Strings(v)
+	out := v[:0]
+	for i, x := range v {
+		if i == 0 || x != v[i-1] {
+			out = append(out, x)
+		}
+	}
+	*vals = out
+}
+
+// cleanup removes all spill runs.
+func (s *Sorter) cleanup() {
+	for _, p := range s.runs {
+		os.Remove(p)
+	}
+	s.runs = nil
+}
+
+// WriteTo merges buffered values and spill runs into a sorted distinct
+// value file at path, removing the temporary runs. It returns the number
+// of distinct values and the maximum value ("" when empty), which the
+// max-value pretest of Sec 4.1 consumes. The Sorter cannot be reused.
+func (s *Sorter) WriteTo(path string) (n int, max string, err error) {
+	if s.closed {
+		return 0, "", fmt.Errorf("extsort: WriteTo after finish")
+	}
+	s.closed = true
+	defer s.cleanup()
+
+	sortDedup(&s.buf)
+
+	if len(s.runs) == 0 {
+		n, err = valfile.WriteAll(path, s.buf)
+		if err != nil {
+			return 0, "", err
+		}
+		if n > 0 {
+			max = s.buf[n-1]
+		}
+		return n, max, nil
+	}
+
+	// Intermediate merge passes keep the final fan-in bounded.
+	for len(s.runs) > s.cfg.FanIn {
+		if err := s.mergePass(); err != nil {
+			return 0, "", err
+		}
+	}
+
+	w, err := valfile.Create(path)
+	if err != nil {
+		return 0, "", err
+	}
+	merge, err := newMerger(s.runs, s.buf)
+	if err != nil {
+		w.Close()
+		return 0, "", err
+	}
+	defer merge.close()
+
+	last, have := "", false
+	for {
+		v, ok, err := merge.next()
+		if err != nil {
+			w.Close()
+			return 0, "", err
+		}
+		if !ok {
+			break
+		}
+		if have && v == last {
+			continue
+		}
+		if err := w.Append(v); err != nil {
+			w.Close()
+			return 0, "", err
+		}
+		last, have = v, true
+	}
+	n = w.Len()
+	if err := w.Close(); err != nil {
+		return 0, "", err
+	}
+	return n, last, nil
+}
+
+// mergePass merges the first FanIn runs into one new run, shrinking
+// len(s.runs) by FanIn-1 per call.
+func (s *Sorter) mergePass() error {
+	k := s.cfg.FanIn
+	if k > len(s.runs) {
+		k = len(s.runs)
+	}
+	batch := s.runs[:k]
+	merge, err := newMerger(batch, nil)
+	if err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(s.cfg.TempDir, "extsort-run-*.val")
+	if err != nil {
+		merge.close()
+		return fmt.Errorf("extsort: %w", err)
+	}
+	outPath := f.Name()
+	f.Close()
+	w, err := valfile.Create(outPath)
+	if err != nil {
+		merge.close()
+		return err
+	}
+	last, have := "", false
+	for {
+		v, ok, err := merge.next()
+		if err != nil {
+			merge.close()
+			w.Close()
+			return err
+		}
+		if !ok {
+			break
+		}
+		if have && v == last {
+			continue
+		}
+		if err := w.Append(v); err != nil {
+			merge.close()
+			w.Close()
+			return err
+		}
+		last, have = v, true
+	}
+	merge.close()
+	if err := w.Close(); err != nil {
+		return err
+	}
+	for _, p := range batch {
+		os.Remove(p)
+	}
+	s.runs = append(s.runs[k:], outPath)
+	return nil
+}
+
+// Sorted merges everything in memory and returns the sorted distinct set;
+// convenient for tests and small attributes.
+func (s *Sorter) Sorted() ([]string, error) {
+	if s.closed {
+		return nil, fmt.Errorf("extsort: Sorted after finish")
+	}
+	s.closed = true
+	defer s.cleanup()
+	out := append([]string(nil), s.buf...)
+	for _, run := range s.runs {
+		vals, err := valfile.ReadAll(run)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, vals...)
+	}
+	sortDedup(&out)
+	return out, nil
+}
+
+// merger k-way merges sorted run files plus one in-memory sorted slice.
+type merger struct {
+	readers []*valfile.Reader
+	mem     []string
+	memPos  int
+	h       mergeHeap
+}
+
+type mergeItem struct {
+	val string
+	src int // reader index, or -1 for the in-memory slice
+}
+
+type mergeHeap []mergeItem
+
+func (h mergeHeap) Len() int            { return len(h) }
+func (h mergeHeap) Less(i, j int) bool  { return h[i].val < h[j].val }
+func (h mergeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x interface{}) { *h = append(*h, x.(mergeItem)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+func newMerger(runs []string, mem []string) (*merger, error) {
+	m := &merger{mem: mem}
+	for _, p := range runs {
+		r, err := valfile.Open(p, nil)
+		if err != nil {
+			m.close()
+			return nil, err
+		}
+		m.readers = append(m.readers, r)
+	}
+	for i, r := range m.readers {
+		if v, ok := r.Next(); ok {
+			m.h = append(m.h, mergeItem{val: v, src: i})
+		} else if err := r.Err(); err != nil {
+			m.close()
+			return nil, err
+		}
+	}
+	if len(mem) > 0 {
+		m.h = append(m.h, mergeItem{val: mem[0], src: -1})
+		m.memPos = 1
+	}
+	heap.Init(&m.h)
+	return m, nil
+}
+
+func (m *merger) next() (string, bool, error) {
+	if m.h.Len() == 0 {
+		return "", false, nil
+	}
+	it := m.h[0]
+	if it.src == -1 {
+		if m.memPos < len(m.mem) {
+			m.h[0] = mergeItem{val: m.mem[m.memPos], src: -1}
+			m.memPos++
+			heap.Fix(&m.h, 0)
+		} else {
+			heap.Pop(&m.h)
+		}
+		return it.val, true, nil
+	}
+	r := m.readers[it.src]
+	if v, ok := r.Next(); ok {
+		m.h[0] = mergeItem{val: v, src: it.src}
+		heap.Fix(&m.h, 0)
+	} else {
+		if err := r.Err(); err != nil {
+			return "", false, err
+		}
+		heap.Pop(&m.h)
+	}
+	return it.val, true, nil
+}
+
+func (m *merger) close() {
+	for _, r := range m.readers {
+		if r != nil {
+			r.Close()
+		}
+	}
+}
+
+// SortToFile is a convenience that sorts vals (a bag, unsorted, with
+// duplicates) into a sorted distinct value file at path using cfg.
+func SortToFile(vals []string, path string, cfg Config) (int, string, error) {
+	s := New(cfg)
+	for _, v := range vals {
+		if err := s.Add(v); err != nil {
+			return 0, "", err
+		}
+	}
+	return s.WriteTo(path)
+}

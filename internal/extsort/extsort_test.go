@@ -1,0 +1,177 @@
+package extsort
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"spider/internal/valfile"
+)
+
+func sortedDistinct(vals []string) []string {
+	set := make(map[string]struct{})
+	for _, v := range vals {
+		set[v] = struct{}{}
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestInMemorySmall(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.val")
+	vals := []string{"b", "a", "c", "a", "b"}
+	n, max, err := SortToFile(vals, path, Config{TempDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 || max != "c" {
+		t.Errorf("n=%d max=%q, want 3/c", n, max)
+	}
+	got, err := valfile.ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Errorf("file = %v", got)
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.val")
+	n, max, err := SortToFile(nil, path, Config{TempDir: t.TempDir()})
+	if err != nil || n != 0 || max != "" {
+		t.Errorf("empty sort: n=%d max=%q err=%v", n, max, err)
+	}
+}
+
+func TestSpillingMatchesInMemory(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var vals []string
+	for i := 0; i < 5000; i++ {
+		vals = append(vals, fmt.Sprintf("v%04d", rng.Intn(900)))
+	}
+	want := sortedDistinct(vals)
+
+	for _, maxMem := range []int{1, 7, 64, 1000, 100000} {
+		t.Run(fmt.Sprintf("maxMem=%d", maxMem), func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "out.val")
+			n, max, err := SortToFile(vals, path, Config{MaxInMemory: maxMem, TempDir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != len(want) {
+				t.Errorf("n = %d, want %d", n, len(want))
+			}
+			if max != want[len(want)-1] {
+				t.Errorf("max = %q, want %q", max, want[len(want)-1])
+			}
+			got, err := valfile.ReadAll(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Error("spilled result differs from in-memory reference")
+			}
+			// Spill runs must be removed after WriteTo.
+			runs, _ := filepath.Glob(filepath.Join(dir, "extsort-run-*"))
+			if len(runs) != 0 {
+				t.Errorf("leftover runs: %v", runs)
+			}
+		})
+	}
+}
+
+func TestSorted(t *testing.T) {
+	dir := t.TempDir()
+	s := New(Config{MaxInMemory: 3, TempDir: dir})
+	for _, v := range []string{"q", "a", "q", "m", "b", "a", "z"} {
+		if err := s.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Added() != 7 {
+		t.Errorf("Added = %d", s.Added())
+	}
+	got, err := s.Sorted()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []string{"a", "b", "m", "q", "z"}) {
+		t.Errorf("Sorted = %v", got)
+	}
+}
+
+func TestUseAfterFinish(t *testing.T) {
+	dir := t.TempDir()
+	s := New(Config{TempDir: dir})
+	if err := s.Add("x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.WriteTo(filepath.Join(dir, "a.val")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add("y"); err == nil {
+		t.Error("Add after WriteTo must fail")
+	}
+	if _, _, err := s.WriteTo(filepath.Join(dir, "b.val")); err == nil {
+		t.Error("second WriteTo must fail")
+	}
+	if _, err := s.Sorted(); err == nil {
+		t.Error("Sorted after WriteTo must fail")
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	s := New(Config{})
+	if s.cfg.MaxInMemory != DefaultMaxInMemory {
+		t.Errorf("default MaxInMemory = %d", s.cfg.MaxInMemory)
+	}
+	if s.cfg.TempDir == "" {
+		t.Error("default TempDir empty")
+	}
+}
+
+// Property: for any input bag and any spill threshold, the output file is
+// the sorted distinct set of the input.
+func TestSortToFileProperty(t *testing.T) {
+	dir := t.TempDir()
+	i := 0
+	f := func(vals []string, memSeed uint8) bool {
+		i++
+		maxMem := int(memSeed)%17 + 1
+		path := filepath.Join(dir, fmt.Sprintf("p%d.val", i))
+		n, _, err := SortToFile(vals, path, Config{MaxInMemory: maxMem, TempDir: dir})
+		if err != nil {
+			return false
+		}
+		want := sortedDistinct(vals)
+		if n != len(want) {
+			return false
+		}
+		got, err := valfile.ReadAll(path)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

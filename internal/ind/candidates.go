@@ -1,0 +1,176 @@
+package ind
+
+import (
+	"fmt"
+
+	"spider/internal/relstore"
+	"spider/internal/value"
+)
+
+// Candidate is an unverified IND candidate Dep ⊆ Ref.
+type Candidate struct {
+	Dep, Ref *Attribute
+}
+
+// String renders the candidate in the paper's a ⊆ b notation.
+func (c Candidate) String() string {
+	return fmt.Sprintf("%s ⊆ %s", c.Dep.Ref, c.Ref.Ref)
+}
+
+// IND is a verified inclusion dependency.
+type IND struct {
+	Dep, Ref relstore.ColumnRef
+}
+
+// String renders the IND in the paper's a ⊆ b notation.
+func (d IND) String() string { return fmt.Sprintf("%s ⊆ %s", d.Dep, d.Ref) }
+
+// GenOptions selects the candidate pretests.
+type GenOptions struct {
+	// MaxValuePretest drops candidates whose dependent maximum exceeds the
+	// referenced maximum (Sec 4.1): "If the maximum of the (potentially)
+	// dependent set is larger than the maximum of the (potentially)
+	// referenced set, we can stop the test immediately."
+	MaxValuePretest bool
+	// DatatypePruning drops candidates whose declared kinds cannot share
+	// values. The paper warns it is "not applicable in the life science
+	// domain, because often even attributes containing solely integers are
+	// represented as string" — our rule therefore only separates numeric
+	// kinds from each other, never strings from anything.
+	DatatypePruning bool
+}
+
+// GenStats reports how many candidates each pretest removed.
+type GenStats struct {
+	// DependentAttrs and ReferencedAttrs count the attributes playing
+	// each role.
+	DependentAttrs  int
+	ReferencedAttrs int
+	// Pairs is the number of (dep, ref) pairs considered.
+	Pairs int
+	// PrunedCardinality counts pairs dropped because the dependent side
+	// has more distinct values than the referenced side (Sec 2's first
+	// phase pretest).
+	PrunedCardinality int
+	// PrunedMaxValue counts pairs dropped by the Sec 4.1 pretest.
+	PrunedMaxValue int
+	// PrunedDatatype counts pairs dropped by datatype incompatibility.
+	PrunedDatatype int
+	// Candidates is the number of candidates that remain to be tested.
+	Candidates int
+}
+
+// GenerateCandidates builds all IND candidates from attrs, applying the
+// enabled pretests. Dependent attributes are non-empty non-LOB columns;
+// referenced attributes are non-empty unique columns (Sec 2). A candidate
+// pairs a dependent with a referenced attribute, never an attribute with
+// itself.
+func GenerateCandidates(attrs []*Attribute, opts GenOptions) ([]Candidate, GenStats) {
+	var deps, refs []*Attribute
+	for _, a := range attrs {
+		if a.DependentCandidate() {
+			deps = append(deps, a)
+		}
+		if a.ReferencedCandidate() {
+			refs = append(refs, a)
+		}
+	}
+	st := GenStats{DependentAttrs: len(deps), ReferencedAttrs: len(refs)}
+	var out []Candidate
+	for _, d := range deps {
+		for _, r := range refs {
+			if d == r {
+				continue
+			}
+			st.Pairs++
+			if d.Distinct > r.Distinct {
+				st.PrunedCardinality++
+				continue
+			}
+			if opts.DatatypePruning && !kindsCompatible(d.Kind, r.Kind) {
+				st.PrunedDatatype++
+				continue
+			}
+			if opts.MaxValuePretest && d.MaxCanonical > r.MaxCanonical {
+				st.PrunedMaxValue++
+				continue
+			}
+			out = append(out, Candidate{Dep: d, Ref: r})
+		}
+	}
+	st.Candidates = len(out)
+	return out, st
+}
+
+// kindsCompatible reports whether values of the two kinds could possibly
+// coincide. Strings are compatible with everything (life-science schemas
+// store numbers as strings); numeric kinds are compatible with each other.
+func kindsCompatible(a, b value.Kind) bool {
+	if a == b || a == value.String || b == value.String {
+		return true
+	}
+	numeric := func(k value.Kind) bool { return k == value.Int || k == value.Float }
+	return numeric(a) && numeric(b)
+}
+
+// TransitivityFilter infers candidate outcomes from already decided INDs,
+// the Bell & Brockhausen optimisation the paper cites in Sec 4.1 and 6:
+// "IND candidates are excluded using already identified (satisfied and
+// unsatisfied) INDs."
+//
+// Two sound rules are applied:
+//
+//  1. A ⊆ B and B ⊆ C satisfied  ⇒ A ⊆ C satisfied (transitivity);
+//  2. A ⊆ B satisfied and A ⊆ C refuted ⇒ B ⊆ C refuted
+//     (if B ⊆ C held, transitivity would force the refuted A ⊆ C).
+type TransitivityFilter struct {
+	satisfied map[int]map[int]bool // dep ID -> ref ID
+	refuted   map[int]map[int]bool
+	// Inferred counts candidates decided without a test.
+	InferredSatisfied int
+	InferredRefuted   int
+}
+
+// NewTransitivityFilter returns an empty filter.
+func NewTransitivityFilter() *TransitivityFilter {
+	return &TransitivityFilter{
+		satisfied: make(map[int]map[int]bool),
+		refuted:   make(map[int]map[int]bool),
+	}
+}
+
+// Record stores a decided candidate.
+func (f *TransitivityFilter) Record(c Candidate, satisfied bool) {
+	m := f.refuted
+	if satisfied {
+		m = f.satisfied
+	}
+	inner := m[c.Dep.ID]
+	if inner == nil {
+		inner = make(map[int]bool)
+		m[c.Dep.ID] = inner
+	}
+	inner[c.Ref.ID] = true
+}
+
+// Decide attempts to infer the outcome of c from recorded results. It
+// returns (outcome, true) when inference succeeds.
+func (f *TransitivityFilter) Decide(c Candidate) (satisfied, decided bool) {
+	a, cID := c.Dep.ID, c.Ref.ID
+	// Rule 1: ∃B: A ⊆ B and B ⊆ C.
+	for b := range f.satisfied[a] {
+		if f.satisfied[b][cID] {
+			f.InferredSatisfied++
+			return true, true
+		}
+	}
+	// Rule 2: the candidate is B ⊆ C; ∃A: A ⊆ B satisfied and A ⊆ C refuted.
+	bID := c.Dep.ID
+	for a2, refs := range f.satisfied {
+		if refs[bID] && f.refuted[a2][cID] {
+			f.InferredRefuted++
+			return false, true
+		}
+	}
+	return false, false
+}

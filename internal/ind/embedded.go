@@ -1,0 +1,210 @@
+package ind
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"spider/internal/extsort"
+	"spider/internal/relstore"
+	"spider/internal/valfile"
+	"spider/internal/value"
+)
+
+// The paper's Sec 7 outlook: "we plan [to] use this procedure to identify
+// inclusion dependencies ... between concatenated values, e.g. attributes
+// containing PDB codes as '144f' or as 'PDB-144f'." This file implements
+// that extension: a set of value transforms is applied to dependent
+// attributes, producing derived value sets whose inclusion in the
+// referenced attributes is tested with the ordinary machinery.
+
+// Transform rewrites a value before the inclusion test. Empty results are
+// dropped (they correspond to NULLs).
+type Transform struct {
+	// Name identifies the transform in results, e.g. "after-dash".
+	Name string
+	// Apply rewrites one canonical value.
+	Apply func(string) string
+}
+
+// StandardTransforms are the transforms motivated by the paper's example:
+// extracting an embedded code after or before a separator, and
+// case-folding.
+func StandardTransforms() []Transform {
+	return []Transform{
+		{Name: "after-dash", Apply: func(s string) string {
+			if i := strings.LastIndexByte(s, '-'); i >= 0 {
+				return s[i+1:]
+			}
+			return ""
+		}},
+		{Name: "before-dash", Apply: func(s string) string {
+			if i := strings.IndexByte(s, '-'); i >= 0 {
+				return s[:i]
+			}
+			return ""
+		}},
+		{Name: "lowercase", Apply: func(s string) string {
+			l := strings.ToLower(s)
+			if l == s {
+				return "" // identity adds nothing over the exact test
+			}
+			return l
+		}},
+	}
+}
+
+// EmbeddedIND is a satisfied inclusion between a transformed dependent
+// attribute and a referenced attribute.
+type EmbeddedIND struct {
+	Dep       relstore.ColumnRef
+	Transform string
+	Ref       relstore.ColumnRef
+}
+
+// String renders the embedded IND, e.g. "entry.code[after-dash] ⊆ struct.id".
+func (e EmbeddedIND) String() string {
+	return fmt.Sprintf("%s[%s] ⊆ %s", e.Dep, e.Transform, e.Ref)
+}
+
+// EmbeddedOptions tunes FindEmbedded.
+type EmbeddedOptions struct {
+	// Transforms to try; StandardTransforms() when empty.
+	Transforms []Transform
+	// Dir receives the derived sorted value files; required.
+	Dir string
+	// MinValues skips derived sets smaller than this (default 2):
+	// near-empty derived sets satisfy almost any inclusion and are noise.
+	MinValues int
+	// Counter receives every item read; nil disables external counting.
+	Counter *valfile.ReadCounter
+}
+
+// EmbeddedResult is the outcome of FindEmbedded.
+type EmbeddedResult struct {
+	Satisfied []EmbeddedIND
+	// DerivedAttrs counts the derived value sets that were exported.
+	DerivedAttrs int
+	Stats        Stats
+}
+
+// FindEmbedded tests whether transformed dependent values are included in
+// referenced attributes. Exact INDs (identity transform) are not
+// re-tested; combine with BruteForce for the full picture.
+func FindEmbedded(db *relstore.Database, attrs []*Attribute, opts EmbeddedOptions) (*EmbeddedResult, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("ind: EmbeddedOptions.Dir is required")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	if len(opts.Transforms) == 0 {
+		opts.Transforms = StandardTransforms()
+	}
+	if opts.MinValues <= 0 {
+		opts.MinValues = 2
+	}
+	start := time.Now()
+	res := &EmbeddedResult{}
+
+	// Derive one synthetic attribute per (dependent attribute, transform)
+	// with a non-trivial result set.
+	type derived struct {
+		attr      *Attribute
+		transform string
+	}
+	var deriveds []derived
+	nextID := 0
+	for _, a := range attrs {
+		nextID = maxInt(nextID, a.ID+1)
+	}
+	for _, a := range attrs {
+		if !a.DependentCandidate() || a.Kind != value.String {
+			continue
+		}
+		tab := db.Table(a.Ref.Table)
+		if tab == nil {
+			return nil, fmt.Errorf("ind: unknown table %q", a.Ref.Table)
+		}
+		for _, tr := range opts.Transforms {
+			sorter := extsort.New(extsort.Config{TempDir: opts.Dir})
+			var addErr error
+			if _, err := tab.ScanColumn(a.Ref.Column, func(v value.Value) {
+				if addErr != nil || v.IsNull() {
+					return
+				}
+				if out := tr.Apply(v.Canonical()); out != "" {
+					addErr = sorter.Add(out)
+				}
+			}); err != nil {
+				return nil, err
+			}
+			if addErr != nil {
+				return nil, addErr
+			}
+			path := filepath.Join(opts.Dir, fmt.Sprintf("derived_%05d_%s.val", nextID, tr.Name))
+			n, max, err := sorter.WriteTo(path)
+			if err != nil {
+				return nil, err
+			}
+			if n < opts.MinValues {
+				os.Remove(path)
+				continue
+			}
+			deriveds = append(deriveds, derived{
+				attr: &Attribute{
+					ID:           nextID,
+					Ref:          a.Ref,
+					Kind:         a.Kind,
+					NonNull:      n,
+					Distinct:     n,
+					MaxCanonical: max,
+					Path:         path,
+				},
+				transform: tr.Name,
+			})
+			nextID++
+		}
+	}
+	res.DerivedAttrs = len(deriveds)
+
+	// Candidates: derived dependent sets against original referenced
+	// attributes (which must already be exported).
+	for _, d := range deriveds {
+		for _, r := range attrs {
+			if !r.ReferencedCandidate() || r.Ref == d.attr.Ref {
+				continue
+			}
+			if d.attr.Distinct > r.Distinct {
+				continue
+			}
+			if r.Path == "" {
+				return nil, fmt.Errorf("ind: referenced attribute %s not exported", r.Ref)
+			}
+			c := Candidate{Dep: d.attr, Ref: r}
+			sat, err := testCandidate(c, opts.Counter, &res.Stats)
+			if err != nil {
+				return nil, err
+			}
+			res.Stats.Candidates++
+			if sat {
+				res.Satisfied = append(res.Satisfied, EmbeddedIND{
+					Dep: d.attr.Ref, Transform: d.transform, Ref: r.Ref,
+				})
+			}
+		}
+	}
+	res.Stats.Satisfied = len(res.Satisfied)
+	res.Stats.ItemsRead = opts.Counter.Total()
+	res.Stats.Duration = time.Since(start)
+	return res, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

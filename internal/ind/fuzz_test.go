@@ -1,0 +1,147 @@
+package ind
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"spider/internal/relstore"
+	"spider/internal/valfile"
+)
+
+// Fuzz-style protocol test: the single-pass algorithm (and the blocked
+// variant) must agree with the set-based oracle on arbitrary candidate
+// topologies — many deps sharing refs, attributes acting as both dep and
+// ref, empty files, single-value files, heavy overlap. This exercises
+// the monitor protocol (Algorithms 2-3) far beyond the schema-shaped
+// datasets.
+func TestSinglePassFuzzTopologies(t *testing.T) {
+	const trials = 60
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		dir := t.TempDir()
+
+		// Random universe of attributes with random sorted value sets.
+		nAttrs := 2 + rng.Intn(8)
+		attrs := make([]*Attribute, nAttrs)
+		sets := make(map[int][]string, nAttrs)
+		for i := 0; i < nAttrs; i++ {
+			var vals []string
+			switch rng.Intn(5) {
+			case 0: // empty
+			case 1: // singleton
+				vals = []string{fmt.Sprintf("v%02d", rng.Intn(20))}
+			default:
+				vals = randomSortedSet(rng, 12+rng.Intn(20), 1+rng.Intn(25))
+			}
+			path := filepath.Join(dir, fmt.Sprintf("a%02d.val", i))
+			if _, err := valfile.WriteAll(path, vals); err != nil {
+				t.Fatal(err)
+			}
+			max := ""
+			if len(vals) > 0 {
+				max = vals[len(vals)-1]
+			}
+			attrs[i] = &Attribute{
+				ID:           i,
+				Ref:          relstore.ColumnRef{Table: "t", Column: fmt.Sprintf("c%02d", i)},
+				NonNull:      len(vals),
+				Distinct:     len(vals),
+				Unique:       true,
+				MaxCanonical: max,
+				Path:         path,
+			}
+			sets[i] = vals
+		}
+
+		// Random candidate topology (not necessarily pretested-consistent:
+		// the algorithms must be correct regardless).
+		var cands []Candidate
+		for d := 0; d < nAttrs; d++ {
+			for r := 0; r < nAttrs; r++ {
+				if d == r || rng.Intn(3) == 0 {
+					continue
+				}
+				cands = append(cands, Candidate{Dep: attrs[d], Ref: attrs[r]})
+			}
+		}
+		if len(cands) == 0 {
+			continue
+		}
+
+		want := Reference(cands, sets).Satisfied
+		sp, err := SinglePass(cands, SinglePassOptions{})
+		if err != nil {
+			t.Fatalf("trial %d: single pass: %v", trial, err)
+		}
+		if !reflect.DeepEqual(sp.Satisfied, want) {
+			t.Fatalf("trial %d: single pass differs:\ngot  %v\nwant %v",
+				trial, indStrings(sp.Satisfied), indStrings(want))
+		}
+		bf, err := BruteForce(cands, BruteForceOptions{})
+		if err != nil {
+			t.Fatalf("trial %d: brute force: %v", trial, err)
+		}
+		if !reflect.DeepEqual(bf.Satisfied, want) {
+			t.Fatalf("trial %d: brute force differs", trial)
+		}
+		blocked, err := SinglePassBlocked(cands, BlockedOptions{
+			DepBlock: 1 + rng.Intn(3), RefBlock: 1 + rng.Intn(3),
+		})
+		if err != nil {
+			t.Fatalf("trial %d: blocked: %v", trial, err)
+		}
+		if !reflect.DeepEqual(blocked.Satisfied, want) {
+			t.Fatalf("trial %d: blocked single pass differs", trial)
+		}
+	}
+}
+
+// Adversarial value distributions for the merge logic: long shared
+// prefixes, values that are prefixes of each other, empty-string values.
+func TestAlgorithmOneAdversarialValues(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		name     string
+		dep, ref []string
+		want     bool
+	}{
+		{"empty string member", []string{""}, []string{"", "a"}, true},
+		{"empty string missing", []string{""}, []string{"a"}, false},
+		{"prefix chain included", []string{"a", "aa", "aaa"}, []string{"a", "aa", "aaa", "aaaa"}, true},
+		{"prefix chain broken", []string{"a", "aaa"}, []string{"a", "aa", "aaaa"}, false},
+		{"long shared prefixes", []string{"k999998"}, []string{"k999997", "k999998", "k999999"}, true},
+	}
+	for i, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			depPath := filepath.Join(dir, fmt.Sprintf("ad%d.val", i))
+			refPath := filepath.Join(dir, fmt.Sprintf("ar%d.val", i))
+			if _, err := valfile.WriteAll(depPath, tc.dep); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := valfile.WriteAll(refPath, tc.ref); err != nil {
+				t.Fatal(err)
+			}
+			dep, err := valfile.Open(depPath, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer dep.Close()
+			ref, err := valfile.Open(refPath, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ref.Close()
+			var st Stats
+			got, err := algorithmOne(dep, ref, &st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.want {
+				t.Errorf("got %v, want %v", got, tc.want)
+			}
+		})
+	}
+}

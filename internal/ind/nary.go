@@ -1,0 +1,357 @@
+package ind
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"spider/internal/relstore"
+)
+
+// The paper closes its related-work discussion with: "We believe that our
+// algorithms for finding unary INDs more efficiently than with pure SQL
+// will also be beneficial for finding multivalued INDs" (Sec 6, following
+// De Marchi et al.'s levelwise approach and Koeller & Rundensteiner).
+// This file supplies that layer: levelwise n-ary IND discovery seeded by
+// the unary INDs any of this package's algorithms produce.
+//
+// An n-ary IND (A1,...,An) ⊆ (B1,...,Bn) holds when every tuple of
+// values of the dependent column list also occurs as a tuple of the
+// referenced column list; all Ai must come from one table and all Bi
+// from one table. Candidates are generated apriori-style: a candidate of
+// arity k is viable only if all of its arity-(k-1) projections are
+// satisfied (the classic MIND pruning). Reflexive positions (a column
+// paired with itself) are trivial and excluded at every arity.
+
+// NaryIND is a satisfied n-ary inclusion dependency; Dep[i] pairs with
+// Ref[i].
+type NaryIND struct {
+	Dep, Ref []relstore.ColumnRef
+}
+
+// Arity returns the number of column pairs.
+func (n NaryIND) Arity() int { return len(n.Dep) }
+
+// String renders the IND as (a, b) ⊆ (x, y).
+func (n NaryIND) String() string {
+	var d, r []string
+	for i := range n.Dep {
+		d = append(d, n.Dep[i].String())
+		r = append(r, n.Ref[i].String())
+	}
+	return fmt.Sprintf("(%s) ⊆ (%s)", strings.Join(d, ", "), strings.Join(r, ", "))
+}
+
+// NaryOptions tunes DiscoverNary.
+type NaryOptions struct {
+	// MaxArity bounds the levelwise search (default 4).
+	MaxArity int
+	// MaxCandidatesPerLevel aborts pathological schemas (default 100000).
+	MaxCandidatesPerLevel int
+}
+
+// NaryStats reports the levelwise search effort.
+type NaryStats struct {
+	// CandidatesByArity / SatisfiedByArity count per level (index =
+	// arity; entries 0 and 1 unused / seed).
+	CandidatesByArity []int
+	SatisfiedByArity  []int
+	// TuplesCompared counts tuple-set probes.
+	TuplesCompared int64
+	Duration       time.Duration
+}
+
+// NaryResult is the outcome of DiscoverNary: all satisfied INDs of arity
+// ≥ 2 (the unary seed is the caller's).
+type NaryResult struct {
+	Satisfied []NaryIND
+	Stats     NaryStats
+}
+
+// pairKey identifies one dep⊆ref column pair.
+type pairKey struct {
+	dep, ref relstore.ColumnRef
+}
+
+// naryCand is a candidate: sorted pair list over one table pair.
+type naryCand struct {
+	depTable, refTable string
+	pairs              []pairKey // sorted by dep column name
+}
+
+func (c naryCand) key() string {
+	var b strings.Builder
+	for _, p := range c.pairs {
+		b.WriteString(p.dep.String())
+		b.WriteByte(1)
+		b.WriteString(p.ref.String())
+		b.WriteByte(2)
+	}
+	return b.String()
+}
+
+// DiscoverNary performs the levelwise search over db. The unary level is
+// computed internally — unlike the unary discovery of Sec 2 (where
+// referenced attributes must be unique columns to be foreign-key
+// targets), n-ary INDs may reference non-unique columns, so level 1 here
+// admits every non-empty non-LOB column on both sides.
+func DiscoverNary(db *relstore.Database, opts NaryOptions) (*NaryResult, error) {
+	if opts.MaxArity <= 0 {
+		opts.MaxArity = 4
+	}
+	if opts.MaxArity < 2 {
+		opts.MaxArity = 2
+	}
+	if opts.MaxCandidatesPerLevel <= 0 {
+		opts.MaxCandidatesPerLevel = 100_000
+	}
+	start := time.Now()
+	res := &NaryResult{}
+	res.Stats.CandidatesByArity = make([]int, opts.MaxArity+1)
+	res.Stats.SatisfiedByArity = make([]int, opts.MaxArity+1)
+
+	verifier := newTupleVerifier(db, &res.Stats)
+
+	// Level 1 over all eligible columns.
+	attrs, err := CollectAttributes(db)
+	if err != nil {
+		return nil, err
+	}
+	var eligible []*Attribute
+	for _, a := range attrs {
+		if a.DependentCandidate() { // non-empty, non-LOB
+			eligible = append(eligible, a)
+		}
+	}
+	satisfiedKeys := make(map[string]bool)
+	var current []naryCand
+	for _, d := range eligible {
+		for _, r := range eligible {
+			if d.Ref == r.Ref {
+				continue
+			}
+			res.Stats.CandidatesByArity[1]++
+			if d.Distinct > r.Distinct {
+				continue
+			}
+			c := naryCand{
+				depTable: d.Ref.Table, refTable: r.Ref.Table,
+				pairs: []pairKey{{dep: d.Ref, ref: r.Ref}},
+			}
+			ok, err := verifier.holds(c)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+			res.Stats.SatisfiedByArity[1]++
+			satisfiedKeys[c.key()] = true
+			current = append(current, c)
+		}
+	}
+	sort.Slice(current, func(i, j int) bool { return current[i].key() < current[j].key() })
+
+	for arity := 2; arity <= opts.MaxArity && len(current) > 0; arity++ {
+		cands := generateLevel(current, satisfiedKeys)
+		res.Stats.CandidatesByArity[arity] = len(cands)
+		if len(cands) > opts.MaxCandidatesPerLevel {
+			return nil, fmt.Errorf("ind: n-ary level %d exceeds %d candidates (%d)",
+				arity, opts.MaxCandidatesPerLevel, len(cands))
+		}
+		var next []naryCand
+		for _, c := range cands {
+			ok, err := verifier.holds(c)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+			satisfiedKeys[c.key()] = true
+			next = append(next, c)
+			res.Satisfied = append(res.Satisfied, NaryIND{
+				Dep: pairDeps(c.pairs), Ref: pairRefs(c.pairs),
+			})
+			res.Stats.SatisfiedByArity[arity]++
+		}
+		current = next
+	}
+	res.Stats.Duration = time.Since(start)
+	return res, nil
+}
+
+func pairDeps(pairs []pairKey) []relstore.ColumnRef {
+	out := make([]relstore.ColumnRef, len(pairs))
+	for i, p := range pairs {
+		out[i] = p.dep
+	}
+	return out
+}
+
+func pairRefs(pairs []pairKey) []relstore.ColumnRef {
+	out := make([]relstore.ColumnRef, len(pairs))
+	for i, p := range pairs {
+		out[i] = p.ref
+	}
+	return out
+}
+
+// generateLevel joins satisfied arity-k INDs sharing their first k-1
+// pairs into arity-(k+1) candidates, then applies the projection prune.
+func generateLevel(current []naryCand, satisfied map[string]bool) []naryCand {
+	var out []naryCand
+	seen := make(map[string]bool)
+	for i := 0; i < len(current); i++ {
+		for j := i + 1; j < len(current); j++ {
+			a, b := current[i], current[j]
+			if a.depTable != b.depTable || a.refTable != b.refTable {
+				continue
+			}
+			k := len(a.pairs)
+			if !samePrefix(a.pairs, b.pairs, k-1) {
+				continue
+			}
+			merged := joinPairs(a.pairs, b.pairs[k-1])
+			if merged == nil {
+				continue
+			}
+			c := naryCand{depTable: a.depTable, refTable: a.refTable, pairs: merged}
+			key := c.key()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			if !projectionsSatisfied(c, satisfied) {
+				continue
+			}
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key() < out[j].key() })
+	return out
+}
+
+func samePrefix(a, b []pairKey, n int) bool {
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// joinPairs appends extra to pairs if it keeps dep columns strictly
+// increasing and introduces no duplicate dep or ref column.
+func joinPairs(pairs []pairKey, extra pairKey) []pairKey {
+	last := pairs[len(pairs)-1]
+	if extra.dep.String() <= last.dep.String() {
+		return nil
+	}
+	for _, p := range pairs {
+		if p.dep == extra.dep || p.ref == extra.ref {
+			return nil
+		}
+	}
+	out := make([]pairKey, len(pairs), len(pairs)+1)
+	copy(out, pairs)
+	return append(out, extra)
+}
+
+// projectionsSatisfied checks the MIND prune: every arity-(k-1)
+// projection of c must already be satisfied.
+func projectionsSatisfied(c naryCand, satisfied map[string]bool) bool {
+	for skip := range c.pairs {
+		proj := make([]pairKey, 0, len(c.pairs)-1)
+		for i, p := range c.pairs {
+			if i != skip {
+				proj = append(proj, p)
+			}
+		}
+		if !satisfied[(naryCand{pairs: proj}).key()] {
+			return false
+		}
+	}
+	return true
+}
+
+// tupleVerifier materialises and caches distinct tuple sets per column
+// list. Tuples containing NULL are ignored, the standard convention for
+// n-ary INDs.
+type tupleVerifier struct {
+	db    *relstore.Database
+	stats *NaryStats
+	cache map[string]map[string]struct{}
+}
+
+func newTupleVerifier(db *relstore.Database, stats *NaryStats) *tupleVerifier {
+	return &tupleVerifier{db: db, stats: stats, cache: make(map[string]map[string]struct{})}
+}
+
+func (v *tupleVerifier) holds(c naryCand) (bool, error) {
+	depSet, err := v.tupleSet(c.depTable, pairDeps(c.pairs))
+	if err != nil {
+		return false, err
+	}
+	refSet, err := v.tupleSet(c.refTable, pairRefs(c.pairs))
+	if err != nil {
+		return false, err
+	}
+	if len(depSet) > len(refSet) {
+		return false, nil
+	}
+	for t := range depSet {
+		v.stats.TuplesCompared++
+		if _, ok := refSet[t]; !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func (v *tupleVerifier) tupleSet(table string, cols []relstore.ColumnRef) (map[string]struct{}, error) {
+	var kb strings.Builder
+	kb.WriteString(table)
+	for _, c := range cols {
+		kb.WriteByte(3)
+		kb.WriteString(c.Column)
+	}
+	key := kb.String()
+	if s, ok := v.cache[key]; ok {
+		return s, nil
+	}
+	tab := v.db.Table(table)
+	if tab == nil {
+		return nil, fmt.Errorf("ind: unknown table %q", table)
+	}
+	idx := make([]int, len(cols))
+	for i, c := range cols {
+		idx[i] = tab.ColumnIndex(c.Column)
+		if idx[i] < 0 {
+			return nil, fmt.Errorf("ind: unknown column %s", c)
+		}
+	}
+	set := make(map[string]struct{})
+	var b strings.Builder
+	for r := 0; r < tab.RowCount(); r++ {
+		row := tab.Row(r)
+		b.Reset()
+		null := false
+		for _, i := range idx {
+			cell := row[i]
+			if cell.IsNull() {
+				null = true
+				break
+			}
+			b.WriteString(cell.Canonical())
+			b.WriteByte(0)
+		}
+		if null {
+			continue
+		}
+		set[b.String()] = struct{}{}
+	}
+	v.cache[key] = set
+	return set, nil
+}

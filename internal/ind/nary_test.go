@@ -1,0 +1,276 @@
+package ind
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"spider/internal/relstore"
+	"spider/internal/value"
+)
+
+// naryDB plants a known binary IND: child(px, py) tuples are drawn from
+// parent(x, y) rows, so (px, py) ⊆ (x, y) holds. A decoy table mixes the
+// same column domains with broken pairing: both unary INDs hold but the
+// binary one must not.
+func naryDB(t testing.TB) *relstore.Database {
+	t.Helper()
+	db := relstore.NewDatabase("nary")
+	parent := db.MustCreateTable("parent", []relstore.Column{
+		{Name: "x", Kind: value.Int},
+		{Name: "y", Kind: value.String},
+	})
+	type pr struct {
+		x int64
+		y string
+	}
+	var rows []pr
+	for i := 0; i < 24; i++ {
+		rows = append(rows, pr{x: int64(i), y: fmt.Sprintf("y%02d", i%6)})
+	}
+	for _, r := range rows {
+		parent.MustInsert(value.NewInt(r.x), value.NewString(r.y))
+	}
+	child := db.MustCreateTable("child", []relstore.Column{
+		{Name: "px", Kind: value.Int},
+		{Name: "py", Kind: value.String},
+	})
+	for i := 0; i < 15; i++ {
+		r := rows[(i*7)%len(rows)]
+		child.MustInsert(value.NewInt(r.x), value.NewString(r.y))
+	}
+	// Decoy: px values and py values from the parent domains, but paired
+	// against the grain (x=i with y of row i+3), so some tuple is absent.
+	decoy := db.MustCreateTable("decoy", []relstore.Column{
+		{Name: "px", Kind: value.Int},
+		{Name: "py", Kind: value.String},
+	})
+	for i := 0; i < 15; i++ {
+		a := rows[i%len(rows)]
+		b := rows[(i+3)%len(rows)]
+		decoy.MustInsert(value.NewInt(a.x), value.NewString(b.y))
+	}
+	return db
+}
+
+func naryStrings(inds []NaryIND) []string {
+	var out []string
+	for _, d := range inds {
+		out = append(out, d.String())
+	}
+	return out
+}
+
+func TestDiscoverNaryFindsPlantedBinary(t *testing.T) {
+	db := naryDB(t)
+	res, err := DiscoverNary(db, NaryOptions{MaxArity: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "(child.px, child.py) ⊆ (parent.x, parent.y)"
+	found := false
+	for _, d := range res.Satisfied {
+		if d.String() == want {
+			found = true
+		}
+		if strings.HasPrefix(d.String(), "(decoy.px, decoy.py) ⊆ (parent.x") {
+			t.Errorf("decoy binary IND reported: %s", d)
+		}
+	}
+	if !found {
+		t.Errorf("planted binary IND missing; got %v", naryStrings(res.Satisfied))
+	}
+	if res.Stats.CandidatesByArity[2] == 0 || res.Stats.TuplesCompared == 0 {
+		t.Errorf("stats empty: %+v", res.Stats)
+	}
+}
+
+// Decoy unary inclusions must exist (the precondition of the decoy test
+// above): both decoy columns are unary-included in parent's columns even
+// though the binary combination is not.
+func TestNaryDecoyUnaryHolds(t *testing.T) {
+	db := naryDB(t)
+	decoy := db.Table("decoy")
+	parent := db.Table("parent")
+	if !tupleSubset1(decoy, 0, parent, 0) || !tupleSubset1(decoy, 1, parent, 1) {
+		t.Error("decoy unary inclusions must hold by construction")
+	}
+}
+
+// tupleSubset1 is the single-column analogue of tupleSubset.
+func tupleSubset1(dep *relstore.Table, d int, ref *relstore.Table, r int) bool {
+	set := map[string]bool{}
+	for i := 0; i < ref.RowCount(); i++ {
+		set[ref.Row(i)[r].Canonical()] = true
+	}
+	for i := 0; i < dep.RowCount(); i++ {
+		if !set[dep.Row(i)[d].Canonical()] {
+			return false
+		}
+	}
+	return true
+}
+
+// A ternary IND emerges when a third paired column is added.
+func TestDiscoverNaryTernary(t *testing.T) {
+	db := relstore.NewDatabase("tern")
+	parent := db.MustCreateTable("parent", []relstore.Column{
+		{Name: "a", Kind: value.Int},
+		{Name: "b", Kind: value.Int},
+		{Name: "c", Kind: value.Int},
+	})
+	type row struct{ a, b, c int64 }
+	var rows []row
+	for i := 0; i < 20; i++ {
+		rows = append(rows, row{int64(i), int64(i * 2 % 7), int64(i * 3 % 5)})
+	}
+	for _, r := range rows {
+		parent.MustInsert(value.NewInt(r.a), value.NewInt(r.b), value.NewInt(r.c))
+	}
+	child := db.MustCreateTable("child", []relstore.Column{
+		{Name: "a", Kind: value.Int},
+		{Name: "b", Kind: value.Int},
+		{Name: "c", Kind: value.Int},
+	})
+	for i := 0; i < 12; i++ {
+		r := rows[(i*5)%len(rows)]
+		child.MustInsert(value.NewInt(r.a), value.NewInt(r.b), value.NewInt(r.c))
+	}
+	res, err := DiscoverNary(db, NaryOptions{MaxArity: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "(child.a, child.b, child.c) ⊆ (parent.a, parent.b, parent.c)"
+	found := false
+	for _, d := range res.Satisfied {
+		if d.String() == want {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("ternary IND missing; got %v", naryStrings(res.Satisfied))
+	}
+	if res.Stats.SatisfiedByArity[3] == 0 {
+		t.Error("arity-3 count not recorded")
+	}
+}
+
+// Exhaustive cross-check on random two-table databases: DiscoverNary at
+// arity 2 must agree with naive enumeration of all column-pair tuples.
+func TestDiscoverNaryMatchesNaive(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		db := relstore.NewDatabase("rand")
+		mkTable := func(name string, nCols, nRows, pool int) *relstore.Table {
+			cols := make([]relstore.Column, nCols)
+			for i := range cols {
+				cols[i] = relstore.Column{Name: fmt.Sprintf("c%d", i), Kind: value.Int}
+			}
+			tab := db.MustCreateTable(name, cols)
+			row := make([]value.Value, nCols)
+			for r := 0; r < nRows; r++ {
+				for i := range row {
+					row[i] = value.NewInt(int64(rng.Intn(pool)))
+				}
+				tab.MustInsert(row...)
+			}
+			return tab
+		}
+		ta := mkTable("ta", 3, 12, 4)
+		tb := mkTable("tb", 3, 18, 4)
+
+		res, err := DiscoverNary(db, NaryOptions{MaxArity: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := map[string]bool{}
+		for _, d := range res.Satisfied {
+			got[d.String()] = true
+		}
+
+		// Naive enumeration of binary INDs across the two tables (both
+		// directions plus within-table), honouring the convention that
+		// dep columns are ordered and distinct.
+		naive := map[string]bool{}
+		tables := []*relstore.Table{ta, tb}
+		for _, dep := range tables {
+			for _, ref := range tables {
+				for d1 := 0; d1 < 3; d1++ {
+					for d2 := d1 + 1; d2 < 3; d2++ {
+						for r1 := 0; r1 < 3; r1++ {
+							for r2 := 0; r2 < 3; r2++ {
+								if r1 == r2 {
+									continue
+								}
+								// Reflexive positions (c ⊆ c within one
+								// table) are trivial and excluded, the
+								// same convention DiscoverNary's level 1
+								// applies.
+								if dep == ref && (d1 == r1 || d2 == r2) {
+									continue
+								}
+								if tupleSubset(dep, d1, d2, ref, r1, r2) {
+									key := fmt.Sprintf("(%s.c%d, %s.c%d) ⊆ (%s.c%d, %s.c%d)",
+										dep.Name, d1, dep.Name, d2, ref.Name, r1, ref.Name, r2)
+									naive[key] = true
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+		// Exact agreement: every reported binary IND must be truly
+		// satisfied, and every truly satisfied binary IND must be
+		// reported (its unary projections are necessarily satisfied, so
+		// the apriori prune cannot drop it).
+		for k := range got {
+			if !naive[k] {
+				t.Errorf("seed %d: reported IND not satisfied: %s", seed, k)
+			}
+		}
+		for k := range naive {
+			if !got[k] {
+				t.Errorf("seed %d: satisfied IND missing: %s", seed, k)
+			}
+		}
+	}
+}
+
+// tupleSubset reports whether dep's (d1,d2) tuples are contained in ref's
+// (r1,r2) tuples, ignoring tuples with NULLs (none here).
+func tupleSubset(dep *relstore.Table, d1, d2 int, ref *relstore.Table, r1, r2 int) bool {
+	set := map[[2]string]bool{}
+	for i := 0; i < ref.RowCount(); i++ {
+		row := ref.Row(i)
+		set[[2]string{row[r1].Canonical(), row[r2].Canonical()}] = true
+	}
+	for i := 0; i < dep.RowCount(); i++ {
+		row := dep.Row(i)
+		if !set[[2]string{row[d1].Canonical(), row[d2].Canonical()}] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDiscoverNaryCandidateCap(t *testing.T) {
+	db := naryDB(t)
+	if _, err := DiscoverNary(db, NaryOptions{MaxArity: 2, MaxCandidatesPerLevel: 1}); err == nil {
+		t.Error("candidate cap must abort")
+	}
+}
+
+func TestNaryINDString(t *testing.T) {
+	d := NaryIND{
+		Dep: []relstore.ColumnRef{{Table: "a", Column: "x"}, {Table: "a", Column: "y"}},
+		Ref: []relstore.ColumnRef{{Table: "b", Column: "u"}, {Table: "b", Column: "v"}},
+	}
+	if got, want := d.String(), "(a.x, a.y) ⊆ (b.u, b.v)"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	if d.Arity() != 2 {
+		t.Error("arity wrong")
+	}
+}

@@ -1,0 +1,171 @@
+package ind
+
+import (
+	"hash/fnv"
+	"math"
+	"sort"
+
+	"spider/internal/relstore"
+	"spider/internal/value"
+)
+
+// Dasu, Johnson, Muthukrishnan and Shkapenyuk (SIGMOD 2002) — the fourth
+// related work of Sec 6: "use data summaries to approximately identify
+// join paths ... They use set resemblance and multiset resemblance to
+// identify the join path and its size and direction. Although we want to
+// compute exact satisfied INDs, we could use this procedure to reduce the
+// number of IND candidates." This file implements that reduction: per
+// attribute, a bottom-k min-hash sketch; per candidate, an estimate of
+// the containment |s(a) ∩ s(b)| / |s(a)| from the sketches. Candidates
+// whose estimated containment falls below a cut-off are pruned before any
+// exact test.
+//
+// Unlike the cardinality/max-value/sampling pretests this filter is
+// APPROXIMATE: with a low cut-off it almost never prunes a satisfied
+// candidate, but no guarantee exists. The exact algorithms remain the
+// source of truth; tests quantify the recall.
+
+// Sketch is a bottom-k min-hash summary of an attribute's value set.
+type Sketch struct {
+	// hashes are the k smallest 64-bit hashes of the value set, sorted.
+	hashes []uint64
+	// n is the exact distinct count (known from attribute stats).
+	n int
+}
+
+// SketchSize is the default number of retained minima.
+const SketchSize = 64
+
+// BuildSketch summarises one attribute's non-null values.
+func BuildSketch(db *relstore.Database, a *Attribute, k int) (*Sketch, error) {
+	if k <= 0 {
+		k = SketchSize
+	}
+	tab := db.Table(a.Ref.Table)
+	seen := make(map[string]struct{})
+	var hs []uint64
+	if _, err := tab.ScanColumn(a.Ref.Column, func(v value.Value) {
+		if v.IsNull() {
+			return
+		}
+		c := v.Canonical()
+		if _, dup := seen[c]; dup {
+			return
+		}
+		seen[c] = struct{}{}
+		hs = append(hs, hash64(c))
+	}); err != nil {
+		return nil, err
+	}
+	sort.Slice(hs, func(i, j int) bool { return hs[i] < hs[j] })
+	if len(hs) > k {
+		hs = hs[:k]
+	}
+	return &Sketch{hashes: hs, n: len(seen)}, nil
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// EstimateContainment estimates |dep ∩ ref| / |dep| from the two
+// sketches: the fraction of dep's retained minima that occur among ref's
+// hashes. An empty dependent sketch is trivially contained.
+func EstimateContainment(dep, ref *Sketch) float64 {
+	if len(dep.hashes) == 0 {
+		return 1
+	}
+	refSet := make(map[uint64]struct{}, len(ref.hashes))
+	for _, h := range ref.hashes {
+		refSet[h] = struct{}{}
+	}
+	// Only dep minima below ref's k-th minimum are comparable: beyond it,
+	// absence from the sketch says nothing.
+	cut := uint64(math.MaxUint64)
+	if len(ref.hashes) > 0 && ref.n > len(ref.hashes) {
+		cut = ref.hashes[len(ref.hashes)-1]
+	}
+	comparable, hits := 0, 0
+	for _, h := range dep.hashes {
+		if h > cut {
+			break
+		}
+		comparable++
+		if _, ok := refSet[h]; ok {
+			hits++
+		}
+	}
+	if comparable == 0 {
+		return 1 // nothing comparable: do not prune
+	}
+	return float64(hits) / float64(comparable)
+}
+
+// ResemblanceOptions tunes the approximate pretest.
+type ResemblanceOptions struct {
+	// SketchSize is the bottom-k size (default 64).
+	SketchSize int
+	// MinContainment prunes candidates whose estimated containment is
+	// below this cut-off (default 1.0: prune unless the sketches are
+	// consistent with full containment).
+	MinContainment float64
+}
+
+// ResemblanceStats reports the pretest's effect.
+type ResemblanceStats struct {
+	Pruned          int
+	SketchesBuilt   int
+	EstimatesBelow1 int
+}
+
+// ResemblancePretest filters cands by estimated containment. The filter
+// is approximate: callers trade a small false-prune risk for skipping
+// exact tests. Satisfied candidates are never pruned when the dependent
+// sketch is exact (distinct count ≤ sketch size), because containment of
+// an exact dependent sketch in the referenced set is then evaluated
+// without estimation error on the comparable prefix.
+func ResemblancePretest(db *relstore.Database, cands []Candidate, opts ResemblanceOptions) ([]Candidate, ResemblanceStats, error) {
+	if opts.SketchSize <= 0 {
+		opts.SketchSize = SketchSize
+	}
+	if opts.MinContainment <= 0 || opts.MinContainment > 1 {
+		opts.MinContainment = 1
+	}
+	var st ResemblanceStats
+	sketches := make(map[int]*Sketch)
+	sketchOf := func(a *Attribute) (*Sketch, error) {
+		if s, ok := sketches[a.ID]; ok {
+			return s, nil
+		}
+		s, err := BuildSketch(db, a, opts.SketchSize)
+		if err != nil {
+			return nil, err
+		}
+		st.SketchesBuilt++
+		sketches[a.ID] = s
+		return s, nil
+	}
+	out := cands[:0:0]
+	for _, c := range cands {
+		dep, err := sketchOf(c.Dep)
+		if err != nil {
+			return nil, st, err
+		}
+		ref, err := sketchOf(c.Ref)
+		if err != nil {
+			return nil, st, err
+		}
+		est := EstimateContainment(dep, ref)
+		if est < 1 {
+			st.EstimatesBelow1++
+		}
+		if est < opts.MinContainment {
+			st.Pruned++
+			continue
+		}
+		out = append(out, c)
+	}
+	return out, st, nil
+}

@@ -1,0 +1,125 @@
+package ind
+
+import (
+	"math/rand"
+
+	"spider/internal/relstore"
+	"spider/internal/value"
+)
+
+// Sec 4.1 sketches a further pruning idea the paper leaves as future
+// work: "Another idea is to pretest the IND candidates using random
+// samples of the dependent data. We believe that this should exclude a
+// large number of IND candidates." This file implements that pretest.
+//
+// The pretest is sound: a sampled dependent value is a real value of the
+// dependent attribute, so if it is missing from the referenced attribute
+// the exact IND candidate cannot be satisfied. No satisfied candidate is
+// ever pruned.
+
+// SamplingOptions tunes the sampling pretest.
+type SamplingOptions struct {
+	// SampleSize is the number of distinct dependent values sampled per
+	// attribute (default 16).
+	SampleSize int
+	// Seed drives sampling; equal seeds give identical prunes.
+	Seed int64
+}
+
+// SamplingStats reports the pretest's effect.
+type SamplingStats struct {
+	// Pruned counts candidates refuted by a sampled value.
+	Pruned int
+	// Probes counts sampled-value lookups performed.
+	Probes int64
+}
+
+// SamplingPretest filters cands, removing candidates refuted by a random
+// sample of the dependent attribute's values probed against the
+// referenced attribute's value set. Both sides are read from db (the
+// pretest runs before any file export).
+func SamplingPretest(db *relstore.Database, cands []Candidate, opts SamplingOptions) ([]Candidate, SamplingStats, error) {
+	if opts.SampleSize <= 0 {
+		opts.SampleSize = 16
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	samples := make(map[int][]string) // attr ID -> sampled canonical values
+	refSets := make(map[int]map[string]struct{})
+	var st SamplingStats
+
+	sampleOf := func(a *Attribute) ([]string, error) {
+		if s, ok := samples[a.ID]; ok {
+			return s, nil
+		}
+		tab := db.Table(a.Ref.Table)
+		// Reservoir-sample distinct canonical values from the column.
+		seen := make(map[string]struct{})
+		var reservoir []string
+		n := 0
+		if _, err := tab.ScanColumn(a.Ref.Column, func(v value.Value) {
+			if v.IsNull() {
+				return
+			}
+			c := v.Canonical()
+			if _, dup := seen[c]; dup {
+				return
+			}
+			seen[c] = struct{}{}
+			n++
+			if len(reservoir) < opts.SampleSize {
+				reservoir = append(reservoir, c)
+				return
+			}
+			if j := rng.Intn(n); j < opts.SampleSize {
+				reservoir[j] = c
+			}
+		}); err != nil {
+			return nil, err
+		}
+		samples[a.ID] = reservoir
+		return reservoir, nil
+	}
+
+	refSetOf := func(a *Attribute) (map[string]struct{}, error) {
+		if s, ok := refSets[a.ID]; ok {
+			return s, nil
+		}
+		vals, err := db.Table(a.Ref.Table).DistinctCanonical(a.Ref.Column)
+		if err != nil {
+			return nil, err
+		}
+		set := make(map[string]struct{}, len(vals))
+		for _, v := range vals {
+			set[v] = struct{}{}
+		}
+		refSets[a.ID] = set
+		return set, nil
+	}
+
+	out := cands[:0:0]
+	for _, c := range cands {
+		sample, err := sampleOf(c.Dep)
+		if err != nil {
+			return nil, st, err
+		}
+		refSet, err := refSetOf(c.Ref)
+		if err != nil {
+			return nil, st, err
+		}
+		refuted := false
+		for _, v := range sample {
+			st.Probes++
+			if _, ok := refSet[v]; !ok {
+				refuted = true
+				break
+			}
+		}
+		if refuted {
+			st.Pruned++
+			continue
+		}
+		out = append(out, c)
+	}
+	return out, st, nil
+}

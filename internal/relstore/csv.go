@@ -1,0 +1,146 @@
+package relstore
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"spider/internal/value"
+)
+
+// LoadCSVFile creates one table from a CSV file. The first record is the
+// header; column kinds are inferred by scanning every field and widening
+// (Int → Float → String). Empty fields load as NULL. The table is named
+// after the file's base name without extension unless name is non-empty.
+//
+// This is the reproduction's stand-in for the paper's step-1 import of
+// downloaded flat files into the Aladin database (Fig. 1): "data sources
+// are downloaded in whatever format and imported".
+func (db *Database) LoadCSVFile(path, name string) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("relstore: %w", err)
+	}
+	defer f.Close()
+	if name == "" {
+		base := filepath.Base(path)
+		name = strings.TrimSuffix(base, filepath.Ext(base))
+	}
+	return db.loadCSV(f, name)
+}
+
+func (db *Database) loadCSV(r io.Reader, name string) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err == io.EOF {
+		return nil, fmt.Errorf("relstore: csv %q: empty file", name)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("relstore: csv %q: %w", name, err)
+	}
+	names := append([]string(nil), header...)
+
+	var records [][]string
+	kinds := make([]value.Kind, len(names))
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relstore: csv %q: %w", name, err)
+		}
+		if len(rec) != len(names) {
+			return nil, fmt.Errorf("relstore: csv %q: record has %d fields, want %d", name, len(rec), len(names))
+		}
+		cp := append([]string(nil), rec...)
+		records = append(records, cp)
+		for i, field := range cp {
+			kinds[i] = value.WidenKind(kinds[i], value.Infer(field))
+		}
+	}
+	cols := make([]Column, len(names))
+	for i, n := range names {
+		k := kinds[i]
+		if k == value.Null { // all-NULL column: store as VARCHAR
+			k = value.String
+		}
+		cols[i] = Column{Name: n, Kind: k}
+	}
+	t, err := db.CreateTable(name, cols)
+	if err != nil {
+		return nil, err
+	}
+	row := make([]value.Value, len(cols))
+	for _, rec := range records {
+		for i, field := range rec {
+			row[i] = value.Parse(field, cols[i].Kind)
+		}
+		if err := t.Insert(row); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// LoadCSVDir loads every *.csv file in dir (non-recursively, sorted by
+// name) as one table each, returning the loaded tables.
+func (db *Database) LoadCSVDir(dir string) ([]*Table, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("relstore: %w", err)
+	}
+	var paths []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(strings.ToLower(e.Name()), ".csv") {
+			continue
+		}
+		paths = append(paths, filepath.Join(dir, e.Name()))
+	}
+	sort.Strings(paths)
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("relstore: no .csv files in %q", dir)
+	}
+	tables := make([]*Table, 0, len(paths))
+	for _, p := range paths {
+		t, err := db.LoadCSVFile(p, "")
+		if err != nil {
+			return nil, err
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// DumpCSV writes the table as CSV (header + rows), the inverse of
+// LoadCSVFile; used by examples and tests to round-trip datasets.
+func (t *Table) DumpCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		header[i] = c.Name
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, len(t.Columns))
+	for _, row := range t.rows {
+		for i, v := range row {
+			if v.IsNull() {
+				rec[i] = ""
+			} else {
+				rec[i] = v.String()
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

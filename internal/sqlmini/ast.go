@@ -1,0 +1,104 @@
+package sqlmini
+
+import "spider/internal/value"
+
+// SelectStmt is the AST of a (possibly nested) SELECT.
+type SelectStmt struct {
+	Hint     string // text of a /*+ ... */ hint, e.g. "first_rows (1)"
+	Distinct bool
+	Items    []SelectItem
+	Star     bool
+	From     FromItem
+	Where    Expr     // nil when absent
+	OrderBy  []ColRef // empty when absent
+}
+
+// SelectItem is one projected expression with an optional alias.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+}
+
+// FromItem is a table, a parenthesised subquery, an explicit two-table
+// equi-join, or a MINUS of two selects — all the shapes the paper's
+// statements use (Figures 2-4).
+type FromItem interface{ isFrom() }
+
+// TableRef names a stored table with an optional alias. Aliases make
+// self-joins expressible (`t d JOIN t r ON d.a = r.b`), which the join
+// approach needs when the dependent and referenced attribute live in the
+// same table.
+type TableRef struct {
+	Name  string
+	Alias string
+}
+
+// SubqueryRef is a parenthesised derived table.
+type SubqueryRef struct{ Stmt *SelectStmt }
+
+// JoinRef is `a JOIN b ON a.x = b.y`.
+type JoinRef struct {
+	Left, Right   TableRef
+	LeftC, RightC ColRef
+}
+
+// SetOpRef is `select ... MINUS select ...`.
+type SetOpRef struct {
+	Op          string // "MINUS"
+	Left, Right *SelectStmt
+}
+
+func (TableRef) isFrom()    {}
+func (SubqueryRef) isFrom() {}
+func (JoinRef) isFrom()     {}
+func (SetOpRef) isFrom()    {}
+
+// Expr is a scalar or boolean expression.
+type Expr interface{ isExpr() }
+
+// ColRef references a column, optionally table-qualified.
+type ColRef struct {
+	Table string // "" when unqualified
+	Name  string
+}
+
+// Lit is a literal value.
+type Lit struct{ Val value.Value }
+
+// Call is a function call: count(*), count(expr), to_char(expr).
+type Call struct {
+	Name string
+	Star bool
+	Args []Expr
+}
+
+// Binary is a binary operation: = <> < <= > >= AND OR.
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+// IsNull is `expr IS [NOT] NULL`.
+type IsNull struct {
+	X      Expr
+	Negate bool
+}
+
+// InSubquery is `expr [NOT] IN (select ...)`.
+type InSubquery struct {
+	X      Expr
+	Sub    *SelectStmt
+	Negate bool
+}
+
+// Rownum is the Oracle-style pseudo column used by the paper to attempt
+// early termination ("where rownum < 2").
+type Rownum struct{}
+
+func (ColRef) isExpr()     {}
+func (Lit) isExpr()        {}
+func (Call) isExpr()       {}
+func (Binary) isExpr()     {}
+func (IsNull) isExpr()     {}
+func (InSubquery) isExpr() {}
+func (Rownum) isExpr()     {}

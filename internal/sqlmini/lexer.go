@@ -1,0 +1,160 @@
+package sqlmini
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind uint8
+
+const (
+	tEOF tokenKind = iota
+	tIdent
+	tNumber
+	tString
+	tPunct // ( ) , . * = < > <= >= <>
+	tHint  // /*+ ... */
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tEOF:
+		return "end of input"
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// lexer tokenizes a SQL string. Keywords are returned as tIdent; the
+// parser matches them case-insensitively, as SQL demands.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpaceAndComments()
+		if l.pos >= len(l.src) {
+			l.emit(tEOF, "", l.pos)
+			return l.toks, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case c == '/' && l.peekAt(1) == '*' && l.peekAt(2) == '+':
+			end := strings.Index(l.src[l.pos:], "*/")
+			if end < 0 {
+				return nil, fmt.Errorf("sqlmini: unterminated hint at offset %d", start)
+			}
+			l.emit(tHint, strings.TrimSpace(l.src[l.pos+3:l.pos+end]), start)
+			l.pos += end + 2
+		case isIdentStart(rune(c)):
+			for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+				l.pos++
+			}
+			l.emit(tIdent, l.src[start:l.pos], start)
+		case c >= '0' && c <= '9':
+			seenDot := false
+			for l.pos < len(l.src) {
+				d := l.src[l.pos]
+				if d == '.' && !seenDot {
+					seenDot = true
+					l.pos++
+					continue
+				}
+				if d < '0' || d > '9' {
+					break
+				}
+				l.pos++
+			}
+			l.emit(tNumber, l.src[start:l.pos], start)
+		case c == '\'':
+			l.pos++
+			var sb strings.Builder
+			for {
+				if l.pos >= len(l.src) {
+					return nil, fmt.Errorf("sqlmini: unterminated string literal at offset %d", start)
+				}
+				if l.src[l.pos] == '\'' {
+					if l.peekAt(1) == '\'' { // doubled quote escapes a quote
+						sb.WriteByte('\'')
+						l.pos += 2
+						continue
+					}
+					l.pos++
+					break
+				}
+				sb.WriteByte(l.src[l.pos])
+				l.pos++
+			}
+			l.emit(tString, sb.String(), start)
+		case c == '<' && (l.peekAt(1) == '=' || l.peekAt(1) == '>'):
+			l.emit(tPunct, l.src[l.pos:l.pos+2], start)
+			l.pos += 2
+		case c == '>' && l.peekAt(1) == '=':
+			l.emit(tPunct, ">=", start)
+			l.pos += 2
+		case c == '!' && l.peekAt(1) == '=':
+			l.emit(tPunct, "<>", start)
+			l.pos += 2
+		case strings.ContainsRune("(),.*=<>", rune(c)):
+			l.emit(tPunct, string(c), start)
+			l.pos++
+		default:
+			return nil, fmt.Errorf("sqlmini: unexpected character %q at offset %d", c, l.pos)
+		}
+	}
+}
+
+func (l *lexer) peekAt(off int) byte {
+	if l.pos+off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+off]
+}
+
+func (l *lexer) emit(k tokenKind, text string, pos int) {
+	l.toks = append(l.toks, token{kind: k, text: text, pos: pos})
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.peekAt(1) == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.peekAt(1) == '*' && l.peekAt(2) != '+':
+			end := strings.Index(l.src[l.pos:], "*/")
+			if end < 0 {
+				l.pos = len(l.src)
+				return
+			}
+			l.pos += end + 2
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || r == '$' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

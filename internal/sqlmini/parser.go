@@ -1,0 +1,419 @@
+package sqlmini
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"spider/internal/value"
+)
+
+// Parse parses one SELECT statement (optionally terminated by a
+// semicolonless end of input).
+func Parse(sql string) (*SelectStmt, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, p.errorf("unexpected trailing input %s", p.peek())
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token     { return p.toks[p.pos] }
+func (p *parser) next() token     { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) atEOF() bool     { return p.peek().kind == tEOF }
+func (p *parser) save() int       { return p.pos }
+func (p *parser) restore(pos int) { p.pos = pos }
+
+func (p *parser) errorf(format string, args ...interface{}) error {
+	return fmt.Errorf("sqlmini: parse error near offset %d: %s", p.peek().pos, fmt.Sprintf(format, args...))
+}
+
+// kw reports whether the current token is the given keyword (case
+// insensitive) and consumes it if so.
+func (p *parser) kw(word string) bool {
+	t := p.peek()
+	if t.kind == tIdent && strings.EqualFold(t.text, word) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// peekKw reports whether the current token is the keyword without
+// consuming it.
+func (p *parser) peekKw(word string) bool {
+	t := p.peek()
+	return t.kind == tIdent && strings.EqualFold(t.text, word)
+}
+
+func (p *parser) expectKw(word string) error {
+	if !p.kw(word) {
+		return p.errorf("expected %s, found %s", strings.ToUpper(word), p.peek())
+	}
+	return nil
+}
+
+// punct consumes the given punctuation token if present.
+func (p *parser) punct(s string) bool {
+	t := p.peek()
+	if t.kind == tPunct && t.text == s {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectPunct(s string) error {
+	if !p.punct(s) {
+		return p.errorf("expected %q, found %s", s, p.peek())
+	}
+	return nil
+}
+
+var reservedAfterItem = []string{"FROM", "WHERE", "ON", "AND", "OR", "MINUS", "ORDER", "JOIN", "AS", "NOT", "IN", "IS"}
+
+func isReserved(word string) bool {
+	for _, r := range reservedAfterItem {
+		if strings.EqualFold(word, r) {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKw("SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{}
+	if p.peek().kind == tHint {
+		stmt.Hint = p.next().text
+	}
+	if p.kw("DISTINCT") {
+		stmt.Distinct = true
+	}
+	if p.punct("*") {
+		stmt.Star = true
+	} else {
+		for {
+			item, err := p.parseSelectItem()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Items = append(stmt.Items, item)
+			if !p.punct(",") {
+				break
+			}
+		}
+	}
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	from, err := p.parseFrom()
+	if err != nil {
+		return nil, err
+	}
+	stmt.From = from
+	if p.kw("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = w
+	}
+	if p.kw("ORDER") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			c, err := p.parseColRef()
+			if err != nil {
+				return nil, err
+			}
+			stmt.OrderBy = append(stmt.OrderBy, c)
+			if !p.punct(",") {
+				break
+			}
+		}
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.kw("AS") {
+		t := p.peek()
+		if t.kind != tIdent {
+			return SelectItem{}, p.errorf("expected alias, found %s", t)
+		}
+		item.Alias = p.next().text
+	} else if t := p.peek(); t.kind == tIdent && !isReserved(t.text) {
+		item.Alias = p.next().text
+	}
+	return item, nil
+}
+
+func (p *parser) parseFrom() (FromItem, error) {
+	if p.punct("(") {
+		// Either a subquery (possibly MINUS), or a parenthesised join.
+		if p.peekKw("SELECT") {
+			left, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			if p.kw("MINUS") {
+				right, err := p.parseSelect()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectPunct(")"); err != nil {
+					return nil, err
+				}
+				return SetOpRef{Op: "MINUS", Left: left, Right: right}, nil
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return SubqueryRef{Stmt: left}, nil
+		}
+		item, err := p.parseJoinOrTable()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return item, nil
+	}
+	return p.parseJoinOrTable()
+}
+
+func (p *parser) parseJoinOrTable() (FromItem, error) {
+	t := p.peek()
+	if t.kind != tIdent {
+		return nil, p.errorf("expected table name, found %s", t)
+	}
+	left := TableRef{Name: p.next().text}
+	if a := p.peek(); a.kind == tIdent && !isReserved(a.text) {
+		left.Alias = p.next().text
+	}
+	if !p.kw("JOIN") {
+		return left, nil
+	}
+	t = p.peek()
+	if t.kind != tIdent {
+		return nil, p.errorf("expected table name after JOIN, found %s", t)
+	}
+	right := TableRef{Name: p.next().text}
+	if a := p.peek(); a.kind == tIdent && !isReserved(a.text) {
+		right.Alias = p.next().text
+	}
+	if err := p.expectKw("ON"); err != nil {
+		return nil, err
+	}
+	lc, err := p.parseColRef()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("="); err != nil {
+		return nil, err
+	}
+	rc, err := p.parseColRef()
+	if err != nil {
+		return nil, err
+	}
+	return JoinRef{Left: left, Right: right, LeftC: lc, RightC: rc}, nil
+}
+
+func (p *parser) parseColRef() (ColRef, error) {
+	t := p.peek()
+	if t.kind != tIdent {
+		return ColRef{}, p.errorf("expected column reference, found %s", t)
+	}
+	first := p.next().text
+	if p.punct(".") {
+		t = p.peek()
+		if t.kind != tIdent {
+			return ColRef{}, p.errorf("expected column name after %q., found %s", first, t)
+		}
+		return ColRef{Table: first, Name: p.next().text}, nil
+	}
+	return ColRef{Name: first}, nil
+}
+
+// Expression grammar: or → and → comparison → primary.
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.kw("OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseComparison()
+	if err != nil {
+		return nil, err
+	}
+	for p.kw("AND") {
+		r, err := p.parseComparison()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	l, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	// IS [NOT] NULL
+	if p.kw("IS") {
+		neg := p.kw("NOT")
+		if err := p.expectKw("NULL"); err != nil {
+			return nil, err
+		}
+		return IsNull{X: l, Negate: neg}, nil
+	}
+	// [NOT] IN (subquery)
+	if p.peekKw("NOT") || p.peekKw("IN") {
+		neg := p.kw("NOT")
+		if err := p.expectKw("IN"); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		sub, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return InSubquery{X: l, Sub: sub, Negate: neg}, nil
+	}
+	for _, op := range []string{"<=", ">=", "<>", "=", "<", ">"} {
+		if p.punct(op) {
+			r, err := p.parsePrimary()
+			if err != nil {
+				return nil, err
+			}
+			return Binary{Op: op, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tNumber:
+		p.next()
+		if strings.ContainsRune(t.text, '.') {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, p.errorf("bad number %q", t.text)
+			}
+			return Lit{Val: value.NewFloat(f)}, nil
+		}
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errorf("bad number %q", t.text)
+		}
+		return Lit{Val: value.NewInt(i)}, nil
+	case tString:
+		p.next()
+		return Lit{Val: value.NewString(t.text)}, nil
+	case tPunct:
+		if t.text == "(" {
+			p.next()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+		return nil, p.errorf("unexpected %s", t)
+	case tIdent:
+		if strings.EqualFold(t.text, "ROWNUM") {
+			p.next()
+			return Rownum{}, nil
+		}
+		if strings.EqualFold(t.text, "NULL") {
+			p.next()
+			return Lit{Val: value.NewNull()}, nil
+		}
+		// Function call?
+		mark := p.save()
+		name := p.next().text
+		if p.punct("(") {
+			lower := strings.ToLower(name)
+			switch lower {
+			case "count":
+				if p.punct("*") {
+					if err := p.expectPunct(")"); err != nil {
+						return nil, err
+					}
+					return Call{Name: "count", Star: true}, nil
+				}
+				arg, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectPunct(")"); err != nil {
+					return nil, err
+				}
+				return Call{Name: "count", Args: []Expr{arg}}, nil
+			case "to_char":
+				arg, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectPunct(")"); err != nil {
+					return nil, err
+				}
+				return Call{Name: "to_char", Args: []Expr{arg}}, nil
+			default:
+				return nil, p.errorf("unknown function %q", name)
+			}
+		}
+		p.restore(mark)
+		return p.parseColRef()
+	default:
+		return nil, p.errorf("unexpected %s", t)
+	}
+}

@@ -1,0 +1,255 @@
+// Package valfile implements the sorted value files both database-external
+// algorithms traverse (Sec 3 of the paper: "All value sets are extracted
+// from the database and stored in sorted files"). A value file holds one
+// attribute's sorted set of distinct canonical values, one value per
+// record, newline framed with backslash escaping so arbitrary strings
+// (including embedded newlines) round-trip.
+//
+// Readers count every item delivered; the counters regenerate the paper's
+// Figure 5 (number of items read, brute force vs single pass).
+package valfile
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync/atomic"
+)
+
+// escape makes a value newline-safe: backslash and newline are escaped.
+func escape(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+// unescape reverses escape. It fails on dangling or unknown escapes so
+// corrupted files are detected rather than silently misread.
+func unescape(s string) (string, error) {
+	if !strings.ContainsRune(s, '\\') {
+		return s, nil
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c != '\\' {
+			b.WriteByte(c)
+			continue
+		}
+		i++
+		if i >= len(s) {
+			return "", fmt.Errorf("valfile: dangling escape")
+		}
+		switch s[i] {
+		case '\\':
+			b.WriteByte('\\')
+		case 'n':
+			b.WriteByte('\n')
+		default:
+			return "", fmt.Errorf("valfile: unknown escape \\%c", s[i])
+		}
+	}
+	return b.String(), nil
+}
+
+// Writer streams values into a value file. Values must be appended in
+// strictly increasing order; Writer enforces the sorted-distinct invariant
+// that every consumer relies on.
+type Writer struct {
+	f     *os.File
+	bw    *bufio.Writer
+	n     int
+	last  string
+	first bool
+	path  string
+}
+
+// Create opens path for writing, truncating any existing file.
+func Create(path string) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("valfile: %w", err)
+	}
+	return &Writer{f: f, bw: bufio.NewWriterSize(f, 64<<10), first: true, path: path}, nil
+}
+
+// Append writes one value. It fails if v is not strictly greater than the
+// previously appended value.
+func (w *Writer) Append(v string) error {
+	if !w.first && v <= w.last {
+		return fmt.Errorf("valfile: %s: append %q after %q violates sorted-distinct invariant", w.path, v, w.last)
+	}
+	w.first = false
+	w.last = v
+	w.n++
+	if _, err := w.bw.WriteString(escape(v)); err != nil {
+		return err
+	}
+	return w.bw.WriteByte('\n')
+}
+
+// Len returns the number of values appended so far.
+func (w *Writer) Len() int { return w.n }
+
+// Close flushes and closes the file.
+func (w *Writer) Close() error {
+	if err := w.bw.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// ReadCounter tallies items read across any number of readers. It is the
+// measurement instrument for Figure 5. Safe for concurrent use.
+type ReadCounter struct {
+	n atomic.Int64
+}
+
+// Add records n items read.
+func (c *ReadCounter) Add(n int64) {
+	if c != nil {
+		c.n.Add(n)
+	}
+}
+
+// Total returns the number of items read so far.
+func (c *ReadCounter) Total() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.n.Load()
+}
+
+// Reset zeroes the counter.
+func (c *ReadCounter) Reset() {
+	if c != nil {
+		c.n.Store(0)
+	}
+}
+
+// Reader iterates a value file's values in order. Each successful Next
+// increments both the per-reader count and the shared ReadCounter (if
+// any). The zero Reader is not usable; use Open.
+type Reader struct {
+	f       *os.File
+	sc      *bufio.Scanner
+	counter *ReadCounter
+	read    int64
+	err     error
+	done    bool
+	path    string
+}
+
+// Open opens a value file for reading. counter may be nil.
+func Open(path string, counter *ReadCounter) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("valfile: %w", err)
+	}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	return &Reader{f: f, sc: sc, counter: counter, path: path}, nil
+}
+
+// Next returns the next value. ok is false at end of file or on error;
+// check Err after the iteration ends.
+func (r *Reader) Next() (v string, ok bool) {
+	if r.done || r.err != nil {
+		return "", false
+	}
+	if !r.sc.Scan() {
+		r.done = true
+		r.err = r.sc.Err()
+		return "", false
+	}
+	v, err := unescape(r.sc.Text())
+	if err != nil {
+		r.err = fmt.Errorf("%s: %w", r.path, err)
+		r.done = true
+		return "", false
+	}
+	r.read++
+	r.counter.Add(1)
+	return v, true
+}
+
+// Read returns the number of items this reader has delivered.
+func (r *Reader) Read() int64 { return r.read }
+
+// Err returns the first error encountered, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Close releases the underlying file.
+func (r *Reader) Close() error { return r.f.Close() }
+
+// WriteAll creates a value file at path from an already sorted, distinct
+// slice. It is a convenience for tests and small exports.
+func WriteAll(path string, sorted []string) (int, error) {
+	w, err := Create(path)
+	if err != nil {
+		return 0, err
+	}
+	for _, v := range sorted {
+		if err := w.Append(v); err != nil {
+			w.Close()
+			return 0, err
+		}
+	}
+	return w.Len(), w.Close()
+}
+
+// ReadAll reads every value from the file at path; for tests.
+func ReadAll(path string) ([]string, error) {
+	r, err := Open(path, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	var out []string
+	for {
+		v, ok := r.Next()
+		if !ok {
+			break
+		}
+		out = append(out, v)
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// CopyCounted streams all values from src into an io.Discard-like sink,
+// returning the count; used by diagnostics to size files.
+func CopyCounted(path string) (int64, error) {
+	r, err := Open(path, nil)
+	if err != nil {
+		return 0, err
+	}
+	defer r.Close()
+	for {
+		if _, ok := r.Next(); !ok {
+			break
+		}
+	}
+	return r.Read(), r.Err()
+}
+
+var _ io.Closer = (*Reader)(nil)

@@ -1,0 +1,258 @@
+package spider
+
+import (
+	"fmt"
+	"os"
+
+	"spider/internal/aladin"
+	"spider/internal/discovery"
+	"spider/internal/ind"
+	"spider/internal/relstore"
+)
+
+// SchemaOptions tunes DiscoverSchema.
+type SchemaOptions struct {
+	// Find configures the underlying IND discovery.
+	Find Options
+	// AccessionMinFraction softens the accession-number heuristic; 1.0
+	// (the default) is the strict rule, the paper also reports 0.9998.
+	AccessionMinFraction float64
+}
+
+// AccessionCandidate is a column whose values look like accession numbers
+// (Sec 5 heuristic 1).
+type AccessionCandidate struct {
+	Ref ColumnRef
+	// Fraction of non-null values satisfying the criteria.
+	Fraction float64
+}
+
+// PrimaryCandidate is one relation ranked by Sec 5 heuristic 2.
+type PrimaryCandidate struct {
+	Table            string
+	ReferencingINDs  int
+	AccessionColumns []ColumnRef
+}
+
+// FKEvaluation compares discovered INDs against declared foreign keys.
+type FKEvaluation struct {
+	DeclaredFKs     int
+	FoundFKs        int
+	UnfindableEmpty int
+	MissedFKs       []IND
+	TransitiveINDs  int
+	FalsePositives  []IND
+	Recall          float64
+}
+
+// SchemaReport is the outcome of DiscoverSchema: the paper's Sec 5
+// analysis for one database.
+type SchemaReport struct {
+	// INDs are all satisfied inclusion dependencies — the foreign-key
+	// guesses.
+	INDs  []IND
+	Stats Stats
+	// FKEvaluation is non-nil when the database declares foreign keys.
+	FKEvaluation *FKEvaluation
+	// AccessionCandidates are the columns passing heuristic 1.
+	AccessionCandidates []AccessionCandidate
+	// PrimaryRelations ranks the relations holding accession candidates
+	// by referencing INDs (heuristic 2); the first entry is the guess.
+	PrimaryRelations []PrimaryCandidate
+}
+
+// DiscoverSchema runs IND discovery plus the Sec 5 schema-discovery
+// heuristics on db.
+func DiscoverSchema(db *Database, opts SchemaOptions) (*SchemaReport, error) {
+	res, err := FindINDs(db, opts.Find)
+	if err != nil {
+		return nil, err
+	}
+	report := &SchemaReport{INDs: res.INDs, Stats: res.Stats}
+
+	internalINDs := make([]ind.IND, len(res.INDs))
+	for i, d := range res.INDs {
+		internalINDs[i] = ind.IND{
+			Dep: relstore.ColumnRef{Table: d.Dep.Table, Column: d.Dep.Column},
+			Ref: relstore.ColumnRef{Table: d.Ref.Table, Column: d.Ref.Column},
+		}
+	}
+
+	if len(db.rel.ForeignKeys()) > 0 {
+		eval := discovery.EvaluateForeignKeys(db.rel, internalINDs)
+		report.FKEvaluation = convertFKEval(eval)
+	}
+
+	accs, err := discovery.AccessionCandidates(db.rel, discovery.AccessionOptions{
+		MinFraction: opts.AccessionMinFraction,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range accs {
+		report.AccessionCandidates = append(report.AccessionCandidates, AccessionCandidate{
+			Ref:      ColumnRef{Table: a.Ref.Table, Column: a.Ref.Column},
+			Fraction: a.Fraction,
+		})
+	}
+	for _, p := range discovery.PrimaryRelation(db.rel, internalINDs, accs) {
+		pc := PrimaryCandidate{Table: p.Table, ReferencingINDs: p.ReferencingINDs}
+		for _, c := range p.AccessionColumns {
+			pc.AccessionColumns = append(pc.AccessionColumns, ColumnRef{Table: c.Table, Column: c.Column})
+		}
+		report.PrimaryRelations = append(report.PrimaryRelations, pc)
+	}
+	return report, nil
+}
+
+func convertFKEval(eval discovery.FKEvaluation) *FKEvaluation {
+	out := &FKEvaluation{
+		DeclaredFKs:     eval.DeclaredFKs,
+		FoundFKs:        eval.FoundFKs,
+		UnfindableEmpty: eval.UnfindableEmpty,
+		TransitiveINDs:  eval.TransitiveINDs,
+		Recall:          eval.Recall(),
+	}
+	for _, fk := range eval.MissedFKs {
+		out.MissedFKs = append(out.MissedFKs, IND{
+			Dep: ColumnRef{Table: fk.Dep.Table, Column: fk.Dep.Column},
+			Ref: ColumnRef{Table: fk.Ref.Table, Column: fk.Ref.Column},
+		})
+	}
+	for _, fp := range eval.FalsePositives {
+		out.FalsePositives = append(out.FalsePositives, IND{
+			Dep: ColumnRef{Table: fp.Dep.Table, Column: fp.Dep.Column},
+			Ref: ColumnRef{Table: fp.Ref.Table, Column: fp.Ref.Column},
+		})
+	}
+	return out
+}
+
+// AladinSource names one data source for the pipeline.
+type AladinSource struct {
+	Name string
+	DB   *Database
+}
+
+// AladinOptions tunes RunAladin.
+type AladinOptions struct {
+	// WorkDir receives sorted value files; a temporary directory is used
+	// when empty.
+	WorkDir string
+	// AccessionMinFraction softens heuristic 1 (default strict).
+	AccessionMinFraction float64
+	// MaxValuePretest enables Sec 4.1 pruning.
+	MaxValuePretest bool
+}
+
+// AladinSourceReport is the per-source outcome of pipeline steps 2-3.
+type AladinSourceReport struct {
+	Name                string
+	KeyCandidates       []ColumnRef
+	INDs                []IND
+	FKEvaluation        *FKEvaluation
+	AccessionCandidates []AccessionCandidate
+	PrimaryRelations    []PrimaryCandidate
+}
+
+// CrossIND is an inter-source inclusion (pipeline step 4).
+type CrossIND struct {
+	DepSource, RefSource string
+	Dep, Ref             ColumnRef
+}
+
+// String renders the cross-source IND.
+func (c CrossIND) String() string {
+	return fmt.Sprintf("%s:%s ⊆ %s:%s", c.DepSource, c.Dep, c.RefSource, c.Ref)
+}
+
+// Duplicate flags one object present in two sources (pipeline step 5).
+type Duplicate struct {
+	SourceA, SourceB string
+	Accession        string
+}
+
+// AladinReport is the five-step pipeline outcome.
+type AladinReport struct {
+	Sources        []AladinSourceReport
+	CrossINDs      []CrossIND
+	Duplicates     []Duplicate
+	DuplicateCount int
+}
+
+// RunAladin executes the five-step Aladin pipeline (Fig. 1) over the given
+// sources: key candidates, intra-source INDs, inter-source INDs targeting
+// primary relations only, and duplicate flagging.
+func RunAladin(sources []AladinSource, opts AladinOptions) (*AladinReport, error) {
+	workDir := opts.WorkDir
+	if workDir == "" {
+		tmp, err := os.MkdirTemp("", "spider-aladin-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(tmp)
+		workDir = tmp
+	}
+	in := make([]aladin.Source, len(sources))
+	for i, s := range sources {
+		if s.DB == nil {
+			return nil, fmt.Errorf("spider: source %q has no database", s.Name)
+		}
+		in[i] = aladin.Source{Name: s.Name, DB: s.DB.rel}
+	}
+	rep, err := aladin.Run(in, aladin.Config{
+		WorkDir:              workDir,
+		AccessionMinFraction: opts.AccessionMinFraction,
+		MaxValuePretest:      opts.MaxValuePretest,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return convertAladin(rep), nil
+}
+
+func convertAladin(rep *aladin.Report) *AladinReport {
+	out := &AladinReport{DuplicateCount: rep.DuplicateCount}
+	for _, sr := range rep.Sources {
+		asr := AladinSourceReport{Name: sr.Name}
+		for _, k := range sr.KeyCandidates {
+			asr.KeyCandidates = append(asr.KeyCandidates, ColumnRef{Table: k.Table, Column: k.Column})
+		}
+		for _, d := range sr.INDs {
+			asr.INDs = append(asr.INDs, IND{
+				Dep: ColumnRef{Table: d.Dep.Table, Column: d.Dep.Column},
+				Ref: ColumnRef{Table: d.Ref.Table, Column: d.Ref.Column},
+			})
+		}
+		if sr.FKEvaluation != nil {
+			asr.FKEvaluation = convertFKEval(*sr.FKEvaluation)
+		}
+		for _, a := range sr.AccessionCandidates {
+			asr.AccessionCandidates = append(asr.AccessionCandidates, AccessionCandidate{
+				Ref:      ColumnRef{Table: a.Ref.Table, Column: a.Ref.Column},
+				Fraction: a.Fraction,
+			})
+		}
+		for _, p := range sr.PrimaryRelations {
+			pc := PrimaryCandidate{Table: p.Table, ReferencingINDs: p.ReferencingINDs}
+			for _, c := range p.AccessionColumns {
+				pc.AccessionColumns = append(pc.AccessionColumns, ColumnRef{Table: c.Table, Column: c.Column})
+			}
+			asr.PrimaryRelations = append(asr.PrimaryRelations, pc)
+		}
+		out.Sources = append(out.Sources, asr)
+	}
+	for _, c := range rep.CrossIND {
+		out.CrossINDs = append(out.CrossINDs, CrossIND{
+			DepSource: c.DepSource, RefSource: c.RefSource,
+			Dep: ColumnRef{Table: c.Dep.Table, Column: c.Dep.Column},
+			Ref: ColumnRef{Table: c.Ref.Table, Column: c.Ref.Column},
+		})
+	}
+	for _, d := range rep.Duplicates {
+		out.Duplicates = append(out.Duplicates, Duplicate{
+			SourceA: d.SourceA, SourceB: d.SourceB, Accession: d.Accession,
+		})
+	}
+	return out
+}
