@@ -2,8 +2,10 @@
 // evaluation on the synthetic paper-shaped datasets:
 //
 //	indbench -exp table1     # Table 1: SQL approaches (join, minus, not in)
-//	indbench -exp table2     # Table 2: brute force and single pass vs join
+//	indbench -exp table2     # Table 2: brute force, single pass and the
+//	                         # modern spider-merge heap engine vs join
 //	indbench -exp figure5    # Figure 5: items read vs number of attributes
+//	                         # (brute force vs single pass vs spider-merge)
 //	indbench -exp pruning    # Sec 4.1: max-value pretest
 //	indbench -exp section5   # Sec 5: FK quality, accessions, primary relation
 //	indbench -exp ablations  # single-pass overhead, block-wise, early stop

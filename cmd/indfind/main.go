@@ -21,13 +21,18 @@ import (
 func main() {
 	csvDir := flag.String("csv", "", "directory of .csv files to profile")
 	data := flag.String("data", "", "built-in dataset: uniprot|scop|pdb")
-	algo := flag.String("algo", "brute-force", "algorithm: brute-force|single-pass|single-pass-blocked|sql-join|sql-minus|sql-not-in|in-memory")
+	algo := flag.String("algo", "brute-force",
+		"algorithm: brute-force|brute-force-parallel|single-pass|single-pass-blocked|"+
+			"spider-merge|sql-join|sql-minus|sql-not-in|in-memory|demarchi|bell-brockhausen")
 	scale := flag.Float64("scale", 0.25, "built-in dataset scale")
 	seed := flag.Int64("seed", 42, "built-in dataset seed")
 	pretest := flag.Bool("pretest", false, "enable the Sec 4.1 max-value pretest")
 	transitivity := flag.Bool("transitivity", false, "enable transitivity inference (brute force)")
 	depBlock := flag.Int("depblock", 64, "dependent block size (single-pass-blocked)")
 	refBlock := flag.Int("refblock", 0, "referenced block size (single-pass-blocked; 0 = all)")
+	workers := flag.Int("workers", 0, "worker pool size (brute-force-parallel; 0 = GOMAXPROCS)")
+	exportWorkers := flag.Int("exportworkers", 0, "attribute export workers (0 = GOMAXPROCS, 1 = sequential)")
+	streaming := flag.Bool("streaming", false, "stream values from sort spill runs, skipping value files (spider-merge)")
 	nary := flag.Int("nary", 0, "also discover n-ary INDs up to this arity (0 = off)")
 	flag.Parse()
 
@@ -49,6 +54,9 @@ func main() {
 		Transitivity:    *transitivity,
 		DepBlock:        *depBlock,
 		RefBlock:        *refBlock,
+		Workers:         *workers,
+		ExportWorkers:   *exportWorkers,
+		Streaming:       *streaming,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "indfind: %v\n", err)
@@ -95,12 +103,14 @@ func openDatabase(csvDir, data string, scale float64, seed int64) (*spider.Datab
 
 func parseAlgorithm(s string) (spider.Algorithm, error) {
 	for _, a := range []spider.Algorithm{
-		spider.BruteForce, spider.SinglePass, spider.SinglePassBlocked,
-		spider.SQLJoin, spider.SQLMinus, spider.SQLNotIn, spider.InMemory,
+		spider.BruteForce, spider.BruteForceParallel,
+		spider.SinglePass, spider.SinglePassBlocked, spider.SpiderMerge,
+		spider.SQLJoin, spider.SQLMinus, spider.SQLNotIn,
+		spider.InMemory, spider.DeMarchiBaseline, spider.BellBrockhausenBaseline,
 	} {
 		if a.String() == s {
 			return a, nil
 		}
 	}
-	return 0, fmt.Errorf("unknown algorithm %q", s)
+	return 0, fmt.Errorf("unknown algorithm %q (run with -h for the full menu)", s)
 }

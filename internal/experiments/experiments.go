@@ -220,6 +220,12 @@ func Table2(cfg Config) ([]Row, error) {
 				return nil, err
 			}
 		}
+		if err := run("spider-merge", func(c *valfile.ReadCounter) (*ind.Result, error) {
+			return ind.SpiderMerge(ds.Candidates, ind.SpiderMergeOptions{Counter: c})
+		}); err != nil {
+			ds.Close()
+			return nil, err
+		}
 		ds.Close()
 	}
 	return rows, nil
@@ -227,10 +233,13 @@ func Table2(cfg Config) ([]Row, error) {
 
 // Figure5Point is one point of the paper's Figure 5: items read by each
 // algorithm when profiling the first N attributes of the UniProt dataset.
+// SpiderMergeItems extends the figure with the modern heap-merge engine,
+// which reads every file at most once and closes cursors early.
 type Figure5Point struct {
-	Attributes      int
-	BruteForceItems int64
-	SinglePassItems int64
+	Attributes       int
+	BruteForceItems  int64
+	SinglePassItems  int64
+	SpiderMergeItems int64
 }
 
 // Figure5 reproduces the paper's Figure 5 I/O comparison on growing
@@ -251,17 +260,21 @@ func Figure5(cfg Config, steps []int) ([]Figure5Point, error) {
 		}
 		subset := ds.Attrs[:n]
 		cands, _ := ind.GenerateCandidates(subset, ind.GenOptions{})
-		var bf, sp valfile.ReadCounter
+		var bf, sp, sm valfile.ReadCounter
 		if _, err := ind.BruteForce(cands, ind.BruteForceOptions{Counter: &bf}); err != nil {
 			return nil, err
 		}
 		if _, err := ind.SinglePass(cands, ind.SinglePassOptions{Counter: &sp}); err != nil {
 			return nil, err
 		}
+		if _, err := ind.SpiderMerge(cands, ind.SpiderMergeOptions{Counter: &sm}); err != nil {
+			return nil, err
+		}
 		points = append(points, Figure5Point{
-			Attributes:      n,
-			BruteForceItems: bf.Total(),
-			SinglePassItems: sp.Total(),
+			Attributes:       n,
+			BruteForceItems:  bf.Total(),
+			SinglePassItems:  sp.Total(),
+			SpiderMergeItems: sm.Total(),
 		})
 	}
 	return points, nil
@@ -397,6 +410,9 @@ type AblationResult struct {
 	BruteForceDuration    time.Duration
 	BruteForceItems       int64
 	SinglePassItems       int64
+	// SpiderMerge: same I/O optimum, no event machinery (modern path).
+	SpiderMergeDuration time.Duration
+	SpiderMergeItems    int64
 	// Block-wise single pass (Sec 4.2): open files vs items read.
 	Blocked []BlockedPoint
 	// SQL early stop (what the paper wished the optimizer did): not-in
@@ -437,6 +453,14 @@ func Ablations(cfg Config) (*AblationResult, error) {
 	out.SinglePassComparisons = sp.Stats.Comparisons
 	out.BruteForceItems = bfC.Total()
 	out.SinglePassItems = spC.Total()
+
+	var smC valfile.ReadCounter
+	sm, err := ind.SpiderMerge(ds.Candidates, ind.SpiderMergeOptions{Counter: &smC})
+	if err != nil {
+		return nil, err
+	}
+	out.SpiderMergeDuration = sm.Stats.Duration
+	out.SpiderMergeItems = smC.Total()
 
 	for _, block := range []int{8, 32, 128, 0} {
 		var c valfile.ReadCounter
@@ -487,10 +511,11 @@ func PrintRows(w io.Writer, title string, rows []Row) {
 func PrintFigure5(w io.Writer, points []Figure5Point) {
 	fmt.Fprintln(w, "Figure 5: number of items read vs number of attributes (UniProt-shaped)")
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "attributes\tbrute force\tsingle pass\tratio")
+	fmt.Fprintln(tw, "attributes\tbrute force\tsingle pass\tspider-merge\tratio")
 	for _, p := range points {
 		ratio := float64(p.BruteForceItems) / float64(max64(p.SinglePassItems, 1))
-		fmt.Fprintf(tw, "%d\t%d\t%d\t%.2fx\n", p.Attributes, p.BruteForceItems, p.SinglePassItems, ratio)
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%.2fx\n",
+			p.Attributes, p.BruteForceItems, p.SinglePassItems, p.SpiderMergeItems, ratio)
 	}
 	tw.Flush()
 	fmt.Fprintln(w)
@@ -550,6 +575,8 @@ func PrintAblations(w io.Writer, r *AblationResult) {
 	fmt.Fprintf(w, "  single pass: %s for %d items read, %d monitor events, %d comparisons\n",
 		r.SinglePassDuration.Round(time.Millisecond), r.SinglePassItems,
 		r.SinglePassEvents, r.SinglePassComparisons)
+	fmt.Fprintf(w, "  spider-merge: %s for %d items read, zero monitor events\n",
+		r.SpiderMergeDuration.Round(time.Millisecond), r.SpiderMergeItems)
 	fmt.Fprintln(w, "Ablation: block-wise single pass (Sec 4.2; DepBlock 0 = unblocked)")
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "dep block\tmax open files\titems read\ttime")

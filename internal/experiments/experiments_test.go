@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"os"
 	"strings"
 	"testing"
 
@@ -226,5 +227,80 @@ func TestPrinters(t *testing.T) {
 	PrintAblations(&buf, ab)
 	if !strings.Contains(buf.String(), "monitor events") {
 		t.Error("ablation output malformed")
+	}
+}
+
+// Modern-extension shape: the spider-merge heap engine agrees with brute
+// force on every dataset and reads each value file at most once — its
+// item count never exceeds the event-driven single pass, which is already
+// the paper's I/O optimum.
+func TestSpiderMergeShape(t *testing.T) {
+	rows, err := Table2(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]Row{}
+	for _, r := range rows {
+		byKey[r.Dataset+"/"+r.Approach] = r
+	}
+	for _, ds := range []string{"uniprot", "scop", "pdb"} {
+		sm, ok := byKey[ds+"/spider-merge"]
+		if !ok {
+			t.Fatalf("%s: missing spider-merge row", ds)
+		}
+		bf := byKey[ds+"/brute-force"]
+		if sm.Satisfied != bf.Satisfied || sm.Candidates != bf.Candidates {
+			t.Errorf("%s: spider-merge (%d/%d) disagrees with brute force (%d/%d)",
+				ds, sm.Candidates, sm.Satisfied, bf.Candidates, bf.Satisfied)
+		}
+		if sp, ok := byKey[ds+"/single-pass"]; ok && sm.ItemsRead > sp.ItemsRead {
+			t.Errorf("%s: spider-merge read %d items, single pass %d",
+				ds, sm.ItemsRead, sp.ItemsRead)
+		}
+	}
+	points, err := Figure5(Quick(), []int{10, 40, 85})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points {
+		if p.SpiderMergeItems == 0 || p.SpiderMergeItems > p.SinglePassItems {
+			t.Errorf("at %d attrs spider-merge read %d items, single pass %d",
+				p.Attributes, p.SpiderMergeItems, p.SinglePassItems)
+		}
+	}
+}
+
+// Parallel export shape: worker pools produce byte-identical value files.
+func TestParallelExportMatchesSequential(t *testing.T) {
+	seq, err := BuildDataset("scop", Quick(), ind.GenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seq.Close()
+	par, err := BuildDataset("scop", Quick(), ind.GenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer par.Close()
+	dir := t.TempDir()
+	if err := ind.ExportAttributes(par.DB, par.Attrs, ind.ExportConfig{Dir: dir, Workers: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Attrs) != len(par.Attrs) {
+		t.Fatalf("attr counts differ: %d vs %d", len(seq.Attrs), len(par.Attrs))
+	}
+	for i := range seq.Attrs {
+		a, b := seq.Attrs[i], par.Attrs[i]
+		av, err := os.ReadFile(a.Path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bv, err := os.ReadFile(b.Path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(av, bv) {
+			t.Errorf("%s: parallel export differs from sequential", a.Ref)
+		}
 	}
 }

@@ -160,9 +160,8 @@ func (s *Sorter) WriteTo(path string) (n int, max string, err error) {
 	}
 	defer merge.close()
 
-	last, have := "", false
 	for {
-		v, ok, err := merge.next()
+		v, ok, err := merge.nextDistinct()
 		if err != nil {
 			w.Close()
 			return 0, "", err
@@ -170,20 +169,16 @@ func (s *Sorter) WriteTo(path string) (n int, max string, err error) {
 		if !ok {
 			break
 		}
-		if have && v == last {
-			continue
-		}
 		if err := w.Append(v); err != nil {
 			w.Close()
 			return 0, "", err
 		}
-		last, have = v, true
 	}
 	n = w.Len()
 	if err := w.Close(); err != nil {
 		return 0, "", err
 	}
-	return n, last, nil
+	return n, merge.lastOut, nil
 }
 
 // mergePass merges the first FanIn runs into one new run, shrinking
@@ -210,9 +205,8 @@ func (s *Sorter) mergePass() error {
 		merge.close()
 		return err
 	}
-	last, have := "", false
 	for {
-		v, ok, err := merge.next()
+		v, ok, err := merge.nextDistinct()
 		if err != nil {
 			merge.close()
 			w.Close()
@@ -221,15 +215,11 @@ func (s *Sorter) mergePass() error {
 		if !ok {
 			break
 		}
-		if have && v == last {
-			continue
-		}
 		if err := w.Append(v); err != nil {
 			merge.close()
 			w.Close()
 			return err
 		}
-		last, have = v, true
 	}
 	merge.close()
 	if err := w.Close(); err != nil {
@@ -239,6 +229,82 @@ func (s *Sorter) mergePass() error {
 		os.Remove(p)
 	}
 	s.runs = append(s.runs[k:], outPath)
+	return nil
+}
+
+// Discard finishes the sorter without producing output, removing any
+// spill runs. It is safe to call on an already finished sorter.
+func (s *Sorter) Discard() {
+	s.closed = true
+	s.buf = nil
+	s.cleanup()
+}
+
+// MergeCursor streams the sorter's final sorted distinct value set
+// directly from its spill runs and in-memory tail, without materializing
+// the merged file. It satisfies the same Next/Err/Close contract as a
+// valfile.Reader, so the IND engines can consume spill runs in place.
+type MergeCursor struct {
+	s       *Sorter
+	m       *merger
+	counter *valfile.ReadCounter
+	err     error
+	closed  bool
+}
+
+// Cursor finishes the sorter and returns a streaming cursor over its
+// sorted distinct values. Intermediate merge passes still run when the
+// number of runs exceeds FanIn, keeping open files bounded. The Sorter
+// cannot be reused; Close removes the spill runs. counter (may be nil)
+// is incremented once per delivered distinct value.
+func (s *Sorter) Cursor(counter *valfile.ReadCounter) (*MergeCursor, error) {
+	if s.closed {
+		return nil, fmt.Errorf("extsort: Cursor after finish")
+	}
+	s.closed = true
+	sortDedup(&s.buf)
+	for len(s.runs) > s.cfg.FanIn {
+		if err := s.mergePass(); err != nil {
+			s.cleanup()
+			return nil, err
+		}
+	}
+	m, err := newMerger(s.runs, s.buf)
+	if err != nil {
+		s.cleanup()
+		return nil, err
+	}
+	return &MergeCursor{s: s, m: m, counter: counter}, nil
+}
+
+// Next returns the next distinct value in sorted order.
+func (c *MergeCursor) Next() (string, bool) {
+	if c.err != nil || c.closed {
+		return "", false
+	}
+	v, ok, err := c.m.nextDistinct()
+	if err != nil {
+		c.err = err
+		return "", false
+	}
+	if !ok {
+		return "", false
+	}
+	c.counter.Add(1)
+	return v, true
+}
+
+// Err returns the first error encountered, if any.
+func (c *MergeCursor) Err() error { return c.err }
+
+// Close releases the run readers and removes the spill runs.
+func (c *MergeCursor) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	c.m.close()
+	c.s.cleanup()
 	return nil
 }
 
@@ -268,6 +334,9 @@ type merger struct {
 	mem     []string
 	memPos  int
 	h       mergeHeap
+	// lastOut/haveOut track nextDistinct's cross-run deduplication.
+	lastOut string
+	haveOut bool
 }
 
 type mergeItem struct {
@@ -341,6 +410,22 @@ func (m *merger) next() (string, bool, error) {
 		heap.Pop(&m.h)
 	}
 	return it.val, true, nil
+}
+
+// nextDistinct is next with duplicate elimination across runs: equal
+// values from different runs (or the in-memory slice) collapse to one.
+func (m *merger) nextDistinct() (string, bool, error) {
+	for {
+		v, ok, err := m.next()
+		if err != nil || !ok {
+			return "", false, err
+		}
+		if m.haveOut && v == m.lastOut {
+			continue
+		}
+		m.lastOut, m.haveOut = v, true
+		return v, true, nil
+	}
 }
 
 func (m *merger) close() {

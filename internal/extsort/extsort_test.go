@@ -3,9 +3,11 @@ package extsort
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"path/filepath"
 	"reflect"
 	"sort"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -173,5 +175,95 @@ func TestSortToFileProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestCursorStreamsSortedDistinct checks the streaming merge cursor
+// against the materializing WriteTo path: same values, same order, and
+// the spill runs are removed once the cursor is closed.
+func TestCursorStreamsSortedDistinct(t *testing.T) {
+	dir := t.TempDir()
+	vals := make([]string, 0, 600)
+	for i := 0; i < 600; i++ {
+		vals = append(vals, fmt.Sprintf("v%03d", i%137))
+	}
+	fileSorter := New(Config{MaxInMemory: 32, TempDir: dir})
+	streamSorter := New(Config{MaxInMemory: 32, FanIn: 4, TempDir: dir})
+	for _, v := range vals {
+		if err := fileSorter.Add(v); err != nil {
+			t.Fatal(err)
+		}
+		if err := streamSorter.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(dir, "out.val")
+	if _, _, err := fileSorter.WriteTo(path); err != nil {
+		t.Fatal(err)
+	}
+	want, err := valfile.ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var counter valfile.ReadCounter
+	cur, err := streamSorter.Cursor(&counter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for {
+		v, ok := cur.Next()
+		if !ok {
+			break
+		}
+		got = append(got, v)
+	}
+	if err := cur.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cur.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("cursor yielded %d values, WriteTo %d; streams differ", len(got), len(want))
+	}
+	if counter.Total() != int64(len(want)) {
+		t.Errorf("counted %d items, want %d", counter.Total(), len(want))
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "extsort-run-") {
+			t.Errorf("spill run %s not removed after Close", e.Name())
+		}
+	}
+	// A finished sorter cannot produce another cursor.
+	if _, err := streamSorter.Cursor(nil); err == nil {
+		t.Error("Cursor after finish must fail")
+	}
+}
+
+// TestDiscard removes spill runs without producing output.
+func TestDiscard(t *testing.T) {
+	dir := t.TempDir()
+	s := New(Config{MaxInMemory: 4, TempDir: dir})
+	for i := 0; i < 40; i++ {
+		if err := s.Add(fmt.Sprintf("%03d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Discard()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("Discard left %d files behind", len(entries))
+	}
+	if _, _, err := s.WriteTo(filepath.Join(dir, "x.val")); err == nil {
+		t.Error("WriteTo after Discard must fail")
 	}
 }

@@ -11,9 +11,12 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"spider/internal/extsort"
 	"spider/internal/relstore"
+	"spider/internal/valfile"
 	"spider/internal/value"
 )
 
@@ -93,13 +96,18 @@ type ExportConfig struct {
 	Dir string
 	// Sort configures the external sorter.
 	Sort extsort.Config
+	// Workers bounds the export worker pool. Attributes are independent —
+	// each worker scans its own column and writes its own file — so
+	// extraction scales with cores. Zero or one exports sequentially.
+	Workers int
 }
 
 // ExportAttributes writes each attribute's sorted distinct value file into
 // cfg.Dir and fills Attribute.Path. This is the paper's extraction step:
 // "All value sets are extracted from the database and stored in sorted
 // files" (Sec 3.2), with the sort performed once per attribute rather than
-// once per IND test — the first optimization of Sec 1.2.
+// once per IND test — the first optimization of Sec 1.2. With
+// cfg.Workers > 1 the attributes are exported by a bounded worker pool.
 func ExportAttributes(db *relstore.Database, attrs []*Attribute, cfg ExportConfig) error {
 	if cfg.Dir == "" {
 		return fmt.Errorf("ind: ExportConfig.Dir is required")
@@ -110,36 +118,126 @@ func ExportAttributes(db *relstore.Database, attrs []*Attribute, cfg ExportConfi
 	if cfg.Sort.TempDir == "" {
 		cfg.Sort.TempDir = cfg.Dir
 	}
-	for _, a := range attrs {
-		t := db.Table(a.Ref.Table)
-		if t == nil {
-			return fmt.Errorf("ind: unknown table %q", a.Ref.Table)
-		}
-		sorter := extsort.New(cfg.Sort)
-		var addErr error
-		if _, err := t.ScanColumn(a.Ref.Column, func(v value.Value) {
-			if addErr != nil || v.IsNull() {
-				return
+	return forEachAttribute(attrs, cfg.Workers, func(a *Attribute) error {
+		return exportAttribute(db, a, cfg)
+	})
+}
+
+// forEachAttribute applies fn to every attribute on a pool of at most
+// workers goroutines (sequentially when workers <= 1), returning the
+// first error. fn runs at most once per attribute; later work is skipped
+// after a failure.
+func forEachAttribute(attrs []*Attribute, workers int, fn func(*Attribute) error) error {
+	if workers > len(attrs) {
+		workers = len(attrs)
+	}
+	if workers <= 1 {
+		for _, a := range attrs {
+			if err := fn(a); err != nil {
+				return err
 			}
-			addErr = sorter.Add(v.Canonical())
-		}); err != nil {
-			return err
 		}
-		if addErr != nil {
-			return addErr
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		next     atomic.Int64
+		failed   atomic.Bool
+		errMu    sync.Mutex
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(attrs) || failed.Load() {
+					return
+				}
+				if err := fn(attrs[i]); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// exportAttribute extracts, sorts and writes one attribute's value file.
+func exportAttribute(db *relstore.Database, a *Attribute, cfg ExportConfig) error {
+	sorter, err := fillSorter(db, a, cfg.Sort)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(cfg.Dir, attrFileName(a))
+	n, max, err := sorter.WriteTo(path)
+	if err != nil {
+		return err
+	}
+	if n != a.Distinct {
+		return fmt.Errorf("ind: %s: exported %d distinct values, stats say %d", a.Ref, n, a.Distinct)
+	}
+	a.Path = path
+	a.MaxCanonical = max
+	return nil
+}
+
+// fillSorter pushes the attribute's non-null canonical values through a
+// fresh external sorter.
+func fillSorter(db *relstore.Database, a *Attribute, cfg extsort.Config) (*extsort.Sorter, error) {
+	t := db.Table(a.Ref.Table)
+	if t == nil {
+		return nil, fmt.Errorf("ind: unknown table %q", a.Ref.Table)
+	}
+	sorter := extsort.New(cfg)
+	var addErr error
+	if _, err := t.ScanColumn(a.Ref.Column, func(v value.Value) {
+		if addErr != nil || v.IsNull() {
+			return
 		}
-		path := filepath.Join(cfg.Dir, attrFileName(a))
-		n, max, err := sorter.WriteTo(path)
+		addErr = sorter.Add(v.Canonical())
+	}); err != nil {
+		return nil, err
+	}
+	if addErr != nil {
+		return nil, addErr
+	}
+	return sorter, nil
+}
+
+// StreamAttributes loads every attribute's values into an external sorter
+// and returns a SorterSource streaming the sorted distinct sets directly
+// from the spill runs — the fully streaming pipeline for single-read
+// engines (SpiderMerge), which never materializes final value files.
+// Attribute.Path stays empty; cfg.Dir is unused. Extraction runs on the
+// same bounded worker pool as ExportAttributes (cfg.Workers). counter may
+// be nil.
+func StreamAttributes(db *relstore.Database, attrs []*Attribute, cfg ExportConfig, counter *valfile.ReadCounter) (*SorterSource, error) {
+	src := NewSorterSource(counter)
+	var mu sync.Mutex
+	err := forEachAttribute(attrs, cfg.Workers, func(a *Attribute) error {
+		sorter, err := fillSorter(db, a, cfg.Sort)
 		if err != nil {
 			return err
 		}
-		if n != a.Distinct {
-			return fmt.Errorf("ind: %s: exported %d distinct values, stats say %d", a.Ref, n, a.Distinct)
-		}
-		a.Path = path
-		a.MaxCanonical = max
+		mu.Lock()
+		src.Add(a, sorter)
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		src.Close()
+		return nil, err
 	}
-	return nil
+	return src, nil
 }
 
 // attrFileName builds a stable, filesystem-safe file name for an attribute.

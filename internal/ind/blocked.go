@@ -22,6 +22,11 @@ type BlockedOptions struct {
 	RefBlock int
 	// Counter receives every item read; nil disables external counting.
 	Counter *valfile.ReadCounter
+	// Source provides each attribute's value cursor; nil selects the
+	// sorted value files written by ExportAttributes, counted by Counter.
+	// Cursors are reopened once per block, so single-shot sources (such
+	// as SorterSource) are unsuitable here.
+	Source CursorSource
 }
 
 // SinglePassBlocked partitions the candidates into dependent × referenced
@@ -49,7 +54,7 @@ func SinglePassBlocked(cands []Candidate, opts BlockedOptions) (*Result, error) 
 			if len(block) == 0 {
 				continue
 			}
-			res, err := SinglePass(block, SinglePassOptions{Counter: opts.Counter})
+			res, err := SinglePass(block, SinglePassOptions{Counter: opts.Counter, Source: opts.Source})
 			if err != nil {
 				return nil, err
 			}

@@ -1,7 +1,6 @@
 package ind
 
 import (
-	"fmt"
 	"sort"
 	"time"
 
@@ -49,6 +48,9 @@ type BruteForceOptions struct {
 	// Transitivity enables the Bell & Brockhausen inference of Sec 4.1,
 	// skipping tests whose outcome follows from already decided ones.
 	Transitivity bool
+	// Source provides each attribute's value cursor; nil selects the
+	// sorted value files written by ExportAttributes, counted by Counter.
+	Source CursorSource
 }
 
 // BruteForce tests every candidate sequentially by opening and merging the
@@ -59,14 +61,12 @@ func BruteForce(cands []Candidate, opts BruteForceOptions) (*Result, error) {
 	res := &Result{}
 	res.Stats.Candidates = len(cands)
 	res.Stats.MaxOpenFiles = 2 // one dependent plus one referenced file
+	src := sourceOrFiles(opts.Source, opts.Counter)
 	var filter *TransitivityFilter
 	if opts.Transitivity {
 		filter = NewTransitivityFilter()
 	}
 	for _, c := range cands {
-		if c.Dep.Path == "" || c.Ref.Path == "" {
-			return nil, fmt.Errorf("ind: candidate %s has unexported attributes", c)
-		}
 		var sat bool
 		if filter != nil {
 			if inferred, decided := filter.Decide(c); decided {
@@ -77,7 +77,7 @@ func BruteForce(cands []Candidate, opts BruteForceOptions) (*Result, error) {
 				continue
 			}
 		}
-		sat, err := testCandidate(c, opts.Counter, &res.Stats)
+		sat, err := testCandidate(c, src, &res.Stats)
 		if err != nil {
 			return nil, err
 		}
@@ -104,13 +104,13 @@ func BruteForce(cands []Candidate, opts BruteForceOptions) (*Result, error) {
 // behind; stop with false the moment the referenced cursor passes a
 // dependent value (early stop), or with true when all dependent values
 // found a match.
-func testCandidate(c Candidate, counter *valfile.ReadCounter, st *Stats) (bool, error) {
-	dep, err := valfile.Open(c.Dep.Path, counter)
+func testCandidate(c Candidate, src CursorSource, st *Stats) (bool, error) {
+	dep, err := src.Open(c.Dep)
 	if err != nil {
 		return false, err
 	}
 	defer dep.Close()
-	ref, err := valfile.Open(c.Ref.Path, counter)
+	ref, err := src.Open(c.Ref)
 	if err != nil {
 		return false, err
 	}
@@ -132,7 +132,7 @@ func testCandidate(c Candidate, counter *valfile.ReadCounter, st *Stats) (bool, 
 
 // algorithmOne is a direct port of the paper's Algorithm 1 over two value
 // streams.
-func algorithmOne(depValues, refValues *valfile.Reader, st *Stats) (bool, error) {
+func algorithmOne(depValues, refValues Cursor, st *Stats) (bool, error) {
 	curRef, refOK := "", false
 	for {
 		curDep, ok := depValues.Next()

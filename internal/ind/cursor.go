@@ -1,0 +1,145 @@
+package ind
+
+import (
+	"fmt"
+
+	"spider/internal/extsort"
+	"spider/internal/valfile"
+)
+
+// Cursor streams one attribute's sorted distinct value set, the
+// fundamental access path of every order-based algorithm (Sec 3: "All
+// value sets are extracted from the database and stored in sorted
+// files"). Decoupling the algorithms from the storage of those sets lets
+// the same engines run over on-disk value files, in-memory slices, or
+// values merged straight out of external-sort spill runs.
+//
+// Next returns the next value in strictly increasing order; ok is false
+// at end of stream or on error, distinguished by Err. Close releases any
+// underlying resources and must be called exactly once.
+type Cursor interface {
+	Next() (v string, ok bool)
+	Err() error
+	Close() error
+}
+
+// *valfile.Reader is the canonical file-backed cursor.
+var _ Cursor = (*valfile.Reader)(nil)
+
+// *extsort.MergeCursor streams directly from spill runs.
+var _ Cursor = (*extsort.MergeCursor)(nil)
+
+// SliceCursor iterates an in-memory sorted distinct slice.
+type SliceCursor struct {
+	vals    []string
+	pos     int
+	counter *valfile.ReadCounter
+}
+
+// NewSliceCursor returns a cursor over sorted, which must already be
+// sorted and duplicate-free. counter may be nil.
+func NewSliceCursor(sorted []string, counter *valfile.ReadCounter) *SliceCursor {
+	return &SliceCursor{vals: sorted, counter: counter}
+}
+
+// Next returns the next value.
+func (c *SliceCursor) Next() (string, bool) {
+	if c.pos >= len(c.vals) {
+		return "", false
+	}
+	v := c.vals[c.pos]
+	c.pos++
+	c.counter.Add(1)
+	return v, true
+}
+
+// Err always returns nil: slices cannot fail.
+func (c *SliceCursor) Err() error { return nil }
+
+// Close is a no-op.
+func (c *SliceCursor) Close() error { return nil }
+
+// CursorSource opens value cursors for attributes. The order-based
+// engines consume their input exclusively through a source, so the same
+// algorithm runs unchanged over files, memory, or streaming merges.
+type CursorSource interface {
+	Open(a *Attribute) (Cursor, error)
+}
+
+// FileSource opens the sorted value files written by ExportAttributes.
+// Every delivered item is counted by Counter (may be nil).
+type FileSource struct {
+	Counter *valfile.ReadCounter
+}
+
+// Open opens the attribute's exported value file.
+func (s FileSource) Open(a *Attribute) (Cursor, error) {
+	if a.Path == "" {
+		return nil, fmt.Errorf("ind: attribute %s has no exported value file", a.Ref)
+	}
+	return valfile.Open(a.Path, s.Counter)
+}
+
+// MemorySource serves attributes from in-memory sorted distinct sets
+// keyed by Attribute.ID, as produced by relstore's DistinctCanonical.
+type MemorySource struct {
+	Sets    map[int][]string
+	Counter *valfile.ReadCounter
+}
+
+// Open returns a cursor over the attribute's in-memory value set.
+func (s MemorySource) Open(a *Attribute) (Cursor, error) {
+	vals, ok := s.Sets[a.ID]
+	if !ok {
+		return nil, fmt.Errorf("ind: attribute %s has no in-memory value set", a.Ref)
+	}
+	return NewSliceCursor(vals, s.Counter), nil
+}
+
+// SorterSource streams each attribute's sorted distinct values directly
+// out of its external sorter — spill runs plus the in-memory tail —
+// without materializing final value files. Each attribute can be opened
+// exactly once, which suits the single-read SpiderMerge engine; reopening
+// fails.
+type SorterSource struct {
+	sorters map[int]*extsort.Sorter
+	counter *valfile.ReadCounter
+}
+
+// NewSorterSource returns an empty source; counter may be nil.
+func NewSorterSource(counter *valfile.ReadCounter) *SorterSource {
+	return &SorterSource{sorters: make(map[int]*extsort.Sorter), counter: counter}
+}
+
+// Add registers the sorter holding a's values. The source takes ownership.
+func (s *SorterSource) Add(a *Attribute, sorter *extsort.Sorter) {
+	s.sorters[a.ID] = sorter
+}
+
+// Open consumes the attribute's sorter into a streaming merge cursor.
+func (s *SorterSource) Open(a *Attribute) (Cursor, error) {
+	sorter, ok := s.sorters[a.ID]
+	if !ok {
+		return nil, fmt.Errorf("ind: attribute %s has no pending sorter (already opened?)", a.Ref)
+	}
+	delete(s.sorters, a.ID)
+	return sorter.Cursor(s.counter)
+}
+
+// Close discards any sorters that were never opened.
+func (s *SorterSource) Close() error {
+	for id, sorter := range s.sorters {
+		sorter.Discard()
+		delete(s.sorters, id)
+	}
+	return nil
+}
+
+// sourceOrFiles is the engine-side default: an explicit source wins,
+// otherwise the exported value files are read and counted.
+func sourceOrFiles(src CursorSource, counter *valfile.ReadCounter) CursorSource {
+	if src != nil {
+		return src
+	}
+	return FileSource{Counter: counter}
+}

@@ -1,0 +1,132 @@
+package ind
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"spider/internal/extsort"
+	"spider/internal/relstore"
+	"spider/internal/valfile"
+)
+
+func drain(t *testing.T, c Cursor) []string {
+	t.Helper()
+	var out []string
+	for {
+		v, ok := c.Next()
+		if !ok {
+			break
+		}
+		out = append(out, v)
+	}
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestSliceCursor(t *testing.T) {
+	var counter valfile.ReadCounter
+	got := drain(t, NewSliceCursor([]string{"a", "b", "c"}, &counter))
+	if !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Errorf("values = %v", got)
+	}
+	if counter.Total() != 3 {
+		t.Errorf("counted %d items", counter.Total())
+	}
+	if got := drain(t, NewSliceCursor(nil, nil)); got != nil {
+		t.Errorf("empty cursor yielded %v", got)
+	}
+}
+
+func TestFileSourceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.val")
+	if _, err := valfile.WriteAll(path, []string{"1", "2", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	a := &Attribute{ID: 0, Ref: relstore.ColumnRef{Table: "t", Column: "a"}, Path: path}
+	var counter valfile.ReadCounter
+	cur, err := FileSource{Counter: &counter}.Open(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := drain(t, cur); !reflect.DeepEqual(got, []string{"1", "2", "3"}) {
+		t.Errorf("values = %v", got)
+	}
+	if counter.Total() != 3 {
+		t.Errorf("counted %d items", counter.Total())
+	}
+	if _, err := (FileSource{}).Open(&Attribute{Ref: relstore.ColumnRef{Table: "t", Column: "b"}}); err == nil {
+		t.Error("unexported attribute must fail")
+	}
+}
+
+func TestMemorySource(t *testing.T) {
+	src := MemorySource{Sets: map[int][]string{7: {"x", "y"}}}
+	a := &Attribute{ID: 7, Ref: relstore.ColumnRef{Table: "t", Column: "a"}}
+	cur, err := src.Open(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := drain(t, cur); !reflect.DeepEqual(got, []string{"x", "y"}) {
+		t.Errorf("values = %v", got)
+	}
+	if _, err := src.Open(&Attribute{ID: 8, Ref: relstore.ColumnRef{Table: "t", Column: "b"}}); err == nil {
+		t.Error("missing set must fail")
+	}
+}
+
+func TestSorterSourceSingleShot(t *testing.T) {
+	src := NewSorterSource(nil)
+	a := &Attribute{ID: 0, Ref: relstore.ColumnRef{Table: "t", Column: "a"}}
+	sorter := extsort.New(extsort.Config{MaxInMemory: 2, TempDir: t.TempDir()})
+	for _, v := range []string{"b", "a", "c", "a", "b"} {
+		if err := sorter.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src.Add(a, sorter)
+	cur, err := src.Open(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := drain(t, cur); !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Errorf("values = %v", got)
+	}
+	if _, err := src.Open(a); err == nil {
+		t.Error("reopening a consumed sorter must fail")
+	}
+	if err := src.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAlgorithmOneOverMemory runs the paper's Algorithm 1 over pure
+// in-memory cursors: the engine is storage-agnostic.
+func TestAlgorithmOneOverMemory(t *testing.T) {
+	cases := []struct {
+		dep, ref []string
+		want     bool
+	}{
+		{[]string{"a", "b"}, []string{"a", "b", "c"}, true},
+		{[]string{"a", "d"}, []string{"a", "b", "c"}, false},
+		{nil, []string{"a"}, true},
+		{[]string{"a"}, nil, false},
+		{nil, nil, true},
+	}
+	for i, c := range cases {
+		var st Stats
+		got, err := algorithmOne(NewSliceCursor(c.dep, nil), NewSliceCursor(c.ref, nil), &st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("case %d: algorithmOne(%v ⊆ %v) = %v, want %v", i, c.dep, c.ref, got, c.want)
+		}
+	}
+}

@@ -184,7 +184,7 @@ func FindEmbedded(db *relstore.Database, attrs []*Attribute, opts EmbeddedOption
 				return nil, fmt.Errorf("ind: referenced attribute %s not exported", r.Ref)
 			}
 			c := Candidate{Dep: d.attr, Ref: r}
-			sat, err := testCandidate(c, opts.Counter, &res.Stats)
+			sat, err := testCandidate(c, FileSource{Counter: opts.Counter}, &res.Stats)
 			if err != nil {
 				return nil, err
 			}

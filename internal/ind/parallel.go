@@ -1,7 +1,6 @@
 package ind
 
 import (
-	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -21,6 +20,10 @@ type ParallelOptions struct {
 	Workers int
 	// Counter receives every item read; nil disables external counting.
 	Counter *valfile.ReadCounter
+	// Source provides each attribute's value cursor; nil selects the
+	// sorted value files written by ExportAttributes, counted by Counter.
+	// A non-nil Source must be safe for concurrent Open calls.
+	Source CursorSource
 }
 
 // BruteForceParallel verifies all candidates concurrently.
@@ -29,18 +32,16 @@ func BruteForceParallel(cands []Candidate, opts ParallelOptions) (*Result, error
 		opts.Workers = runtime.GOMAXPROCS(0)
 	}
 	start := time.Now()
-	for _, c := range cands {
-		if c.Dep.Path == "" || c.Ref.Path == "" {
-			return nil, fmt.Errorf("ind: candidate %s has unexported attributes", c)
-		}
-	}
+	src := sourceOrFiles(opts.Source, opts.Counter)
 
 	var (
 		wg          sync.WaitGroup
 		next        atomic.Int64
 		comparisons atomic.Int64
 		filesOpened atomic.Int64
-		firstErr    atomic.Value
+		failed      atomic.Bool
+		errMu       sync.Mutex
+		firstErr    error
 		verdicts    = make([]bool, len(cands))
 	)
 	for w := 0; w < opts.Workers; w++ {
@@ -53,12 +54,17 @@ func BruteForceParallel(cands []Candidate, opts ParallelOptions) (*Result, error
 				if i >= len(cands) {
 					break
 				}
-				if firstErr.Load() != nil {
+				if failed.Load() {
 					return
 				}
-				sat, err := testCandidate(cands[i], opts.Counter, &st)
+				sat, err := testCandidate(cands[i], src, &st)
 				if err != nil {
-					firstErr.CompareAndSwap(nil, err)
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					failed.Store(true)
 					return
 				}
 				verdicts[i] = sat
@@ -68,8 +74,8 @@ func BruteForceParallel(cands []Candidate, opts ParallelOptions) (*Result, error
 		}()
 	}
 	wg.Wait()
-	if err, ok := firstErr.Load().(error); ok && err != nil {
-		return nil, err
+	if firstErr != nil {
+		return nil, firstErr
 	}
 
 	res := &Result{}

@@ -12,6 +12,9 @@ import (
 type SinglePassOptions struct {
 	// Counter receives every item read; nil disables external counting.
 	Counter *valfile.ReadCounter
+	// Source provides each attribute's value cursor; nil selects the
+	// sorted value files written by ExportAttributes, counted by Counter.
+	Source CursorSource
 }
 
 // SinglePass tests all candidates in parallel while reading every value
@@ -27,7 +30,7 @@ type SinglePassOptions struct {
 // that overhead.
 func SinglePass(cands []Candidate, opts SinglePassOptions) (*Result, error) {
 	start := time.Now()
-	sp, err := newSinglePass(cands, opts.Counter)
+	sp, err := newSinglePass(cands, sourceOrFiles(opts.Source, opts.Counter))
 	if err != nil {
 		return nil, err
 	}
@@ -50,7 +53,7 @@ func SinglePass(cands []Candidate, opts SinglePassOptions) (*Result, error) {
 // its next value only when each of them has issued a request.
 type refObj struct {
 	attr    *Attribute
-	reader  *valfile.Reader
+	reader  Cursor
 	current string
 	// pending is a one-value lookahead so wantNextValue can answer
 	// "is there a next value" without consuming it.
@@ -69,7 +72,7 @@ type refObj struct {
 // (already delivered values waiting for the next dependent value).
 type depObj struct {
 	attr    *Attribute
-	reader  *valfile.Reader
+	reader  Cursor
 	current string
 	hasCur  bool
 	pending string
@@ -87,21 +90,18 @@ type singlePass struct {
 
 	satisfied []IND
 	stats     Stats
-	counter   *valfile.ReadCounter
+	src       CursorSource
 	open      int
 	err       error
 }
 
-func newSinglePass(cands []Candidate, counter *valfile.ReadCounter) (*singlePass, error) {
+func newSinglePass(cands []Candidate, src CursorSource) (*singlePass, error) {
 	sp := &singlePass{
-		deps:    make(map[int]*depObj),
-		refs:    make(map[int]*refObj),
-		counter: counter,
+		deps: make(map[int]*depObj),
+		refs: make(map[int]*refObj),
+		src:  src,
 	}
 	for _, c := range cands {
-		if c.Dep.Path == "" || c.Ref.Path == "" {
-			return nil, fmt.Errorf("ind: candidate %s has unexported attributes", c)
-		}
 		d, err := sp.depFor(c.Dep)
 		if err != nil {
 			return nil, err
@@ -119,7 +119,7 @@ func (sp *singlePass) depFor(a *Attribute) (*depObj, error) {
 	if d, ok := sp.deps[a.ID]; ok {
 		return d, nil
 	}
-	reader, err := valfile.Open(a.Path, sp.counter)
+	reader, err := sp.src.Open(a)
 	if err != nil {
 		return nil, err
 	}
@@ -147,7 +147,7 @@ func (sp *singlePass) refFor(a *Attribute) (*refObj, error) {
 	if r, ok := sp.refs[a.ID]; ok {
 		return r, nil
 	}
-	reader, err := valfile.Open(a.Path, sp.counter)
+	reader, err := sp.src.Open(a)
 	if err != nil {
 		return nil, err
 	}

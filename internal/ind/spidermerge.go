@@ -1,0 +1,271 @@
+package ind
+
+import (
+	"container/heap"
+	"sort"
+	"time"
+
+	"spider/internal/valfile"
+)
+
+// SpiderMergeOptions tunes the heap-merge run.
+type SpiderMergeOptions struct {
+	// Counter receives every item read; nil disables external counting.
+	Counter *valfile.ReadCounter
+	// Source provides each attribute's value cursor; nil selects the
+	// sorted value files written by ExportAttributes, counted by Counter.
+	// Each attribute is opened exactly once, so single-shot sources
+	// (SorterSource) work here.
+	Source CursorSource
+}
+
+// SpiderMerge tests every candidate in one pass over all attribute
+// cursors using a k-way min-heap merge — the production fast path the
+// paper's Sec 3.3 result points at. The event-driven single pass achieves
+// the I/O optimum but loses wall clock to its subject–observer
+// synchronisation (Stats.Events); SpiderMerge achieves the same "read
+// every value set at most once" property with no event machinery at all.
+//
+// The invariant is set-theoretic: for every value v at the merge front,
+// the group A of attributes whose streams contain v is known. For each
+// dependent attribute d ∈ A, a candidate d ⊆ r survives only if r ∈ A —
+// refs(d) is intersected with A. When d's stream ends, the surviving
+// candidates are exactly the satisfied INDs. Cursors close early once an
+// attribute is needed by no undecided candidate, so ItemsRead is at most
+// the single-pass total.
+func SpiderMerge(cands []Candidate, opts SpiderMergeOptions) (*Result, error) {
+	start := time.Now()
+	sm := newSpiderMerge(sourceOrFiles(opts.Source, opts.Counter))
+	defer sm.closeAll()
+	if err := sm.run(cands); err != nil {
+		return nil, err
+	}
+	res := &Result{Satisfied: sm.satisfied}
+	res.Stats = sm.stats
+	res.Stats.Candidates = len(cands)
+	res.Stats.Satisfied = len(res.Satisfied)
+	res.Stats.ItemsRead = opts.Counter.Total()
+	res.Stats.Duration = time.Since(start)
+	sortINDs(res.Satisfied)
+	return res, nil
+}
+
+// smEntry is one heap element: an attribute's current merge-front value.
+type smEntry struct {
+	val string
+	id  int
+}
+
+// smHeap is a min-heap on (value, attribute ID); the ID tie-break makes
+// group processing order deterministic.
+type smHeap []smEntry
+
+func (h smHeap) Len() int { return len(h) }
+func (h smHeap) Less(i, j int) bool {
+	if h[i].val != h[j].val {
+		return h[i].val < h[j].val
+	}
+	return h[i].id < h[j].id
+}
+func (h smHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *smHeap) Push(x interface{}) { *h = append(*h, x.(smEntry)) }
+func (h *smHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+type spiderMerge struct {
+	src     CursorSource
+	cursors map[int]Cursor
+	attrs   map[int]*Attribute
+	// refs maps a dependent attribute ID to the referenced attribute IDs
+	// of its still-undecided candidates.
+	refs map[int]map[int]bool
+	// refCount counts, per attribute, the dependents still tracking it as
+	// a referenced side; it drives early cursor close.
+	refCount map[int]int
+	h        smHeap
+
+	satisfied []IND
+	stats     Stats
+	open      int
+}
+
+func newSpiderMerge(src CursorSource) *spiderMerge {
+	return &spiderMerge{
+		src:      src,
+		cursors:  make(map[int]Cursor),
+		attrs:    make(map[int]*Attribute),
+		refs:     make(map[int]map[int]bool),
+		refCount: make(map[int]int),
+	}
+}
+
+func (sm *spiderMerge) run(cands []Candidate) error {
+	for _, c := range cands {
+		sm.attrs[c.Dep.ID] = c.Dep
+		sm.attrs[c.Ref.ID] = c.Ref
+		inner := sm.refs[c.Dep.ID]
+		if inner == nil {
+			inner = make(map[int]bool)
+			sm.refs[c.Dep.ID] = inner
+		}
+		if !inner[c.Ref.ID] {
+			inner[c.Ref.ID] = true
+			sm.refCount[c.Ref.ID]++
+		}
+	}
+
+	// Open one cursor per involved attribute and seed the heap with each
+	// first value, in ID order for determinism. Attributes with empty
+	// value sets exhaust immediately: an empty dependent set is included
+	// everywhere (∅ ⊆ r), an empty referenced set simply never joins a
+	// merge group and refutes its candidates at the dependents' first
+	// values.
+	ids := make([]int, 0, len(sm.attrs))
+	for id := range sm.attrs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		cur, err := sm.src.Open(sm.attrs[id])
+		if err != nil {
+			return err
+		}
+		sm.cursors[id] = cur
+		sm.open++
+		sm.stats.FilesOpened++
+		if sm.open > sm.stats.MaxOpenFiles {
+			sm.stats.MaxOpenFiles = sm.open
+		}
+	}
+	for _, id := range ids {
+		if err := sm.advance(id); err != nil {
+			return err
+		}
+	}
+
+	group := make([]int, 0, len(ids))
+	members := make(map[int]bool, len(ids))
+	for len(sm.h) > 0 {
+		// Collect the merge group: every attribute whose stream contains
+		// the minimum value. Lazily dropped entries (closed cursors) are
+		// discarded here.
+		group = group[:0]
+		v := sm.h[0].val
+		for len(sm.h) > 0 && sm.h[0].val == v {
+			e := heap.Pop(&sm.h).(smEntry)
+			if sm.cursors[e.id] == nil {
+				continue
+			}
+			group = append(group, e.id)
+		}
+		if len(group) == 0 {
+			continue
+		}
+		for _, id := range group {
+			members[id] = true
+		}
+		// Intersect each dependent's candidate refs with the group.
+		for _, d := range group {
+			rs := sm.refs[d]
+			if len(rs) == 0 {
+				continue
+			}
+			sm.stats.Comparisons += int64(len(rs))
+			for r := range rs {
+				if !members[r] {
+					sm.drop(d, r)
+				}
+			}
+			if len(rs) == 0 {
+				sm.maybeClose(d)
+			}
+		}
+		for _, id := range group {
+			delete(members, id)
+		}
+		// Advance every group member still open.
+		for _, id := range group {
+			if sm.cursors[id] == nil {
+				continue
+			}
+			if err := sm.advance(id); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// advance pushes the attribute's next value, or finishes its stream. It
+// is a no-op on cursors already closed early (an empty dependent settling
+// its candidates during seeding may retire a referenced cursor first).
+func (sm *spiderMerge) advance(id int) error {
+	cur := sm.cursors[id]
+	if cur == nil {
+		return nil
+	}
+	if v, ok := cur.Next(); ok {
+		heap.Push(&sm.h, smEntry{val: v, id: id})
+		return nil
+	}
+	if err := cur.Err(); err != nil {
+		return err
+	}
+	// Stream exhausted: every remaining candidate of this dependent is
+	// satisfied — all its values found their referenced matches.
+	if rs := sm.refs[id]; len(rs) > 0 {
+		survivors := make([]int, 0, len(rs))
+		for r := range rs {
+			survivors = append(survivors, r)
+		}
+		sort.Ints(survivors)
+		for _, r := range survivors {
+			sm.satisfied = append(sm.satisfied, IND{Dep: sm.attrs[id].Ref, Ref: sm.attrs[r].Ref})
+			sm.drop(id, r)
+		}
+	}
+	sm.closeCursor(id)
+	return nil
+}
+
+// drop removes the undecided candidate d ⊆ r and closes r's cursor when
+// nothing references it any longer.
+func (sm *spiderMerge) drop(d, r int) {
+	rs := sm.refs[d]
+	if !rs[r] {
+		return
+	}
+	delete(rs, r)
+	sm.refCount[r]--
+	if d != r {
+		sm.maybeClose(r)
+	}
+}
+
+// maybeClose closes the attribute's cursor once it is needed neither as a
+// dependent (undecided candidates) nor as a referenced side. The heap
+// entry is dropped lazily.
+func (sm *spiderMerge) maybeClose(id int) {
+	if len(sm.refs[id]) == 0 && sm.refCount[id] == 0 {
+		sm.closeCursor(id)
+	}
+}
+
+func (sm *spiderMerge) closeCursor(id int) {
+	if cur := sm.cursors[id]; cur != nil {
+		cur.Close()
+		sm.cursors[id] = nil
+		sm.open--
+	}
+}
+
+func (sm *spiderMerge) closeAll() {
+	for id := range sm.cursors {
+		sm.closeCursor(id)
+	}
+}

@@ -12,6 +12,11 @@
 // heuristics, the Sec 4.2 block-wise single pass, and the Sec 5 schema
 // discovery heuristics (foreign-key evaluation, accession-number
 // candidates, primary relation, and the five-step Aladin pipeline).
+// Beyond the paper it adds modern extensions: a parallel brute force, an
+// in-memory baseline, and SpiderMerge — a k-way heap merge over streaming
+// value cursors that keeps the single-pass I/O optimum without its
+// synchronisation overhead, optionally consuming external-sort spill runs
+// directly (Options.Streaming) with parallel attribute export.
 //
 // Quick start:
 //
@@ -25,9 +30,11 @@ package spider
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"spider/internal/datagen"
+	"spider/internal/extsort"
 	"spider/internal/ind"
 	"spider/internal/relstore"
 	"spider/internal/valfile"
@@ -87,6 +94,11 @@ const (
 	// BruteForceParallel runs Algorithm 1 on a worker pool — a modern
 	// extension beyond the paper's single-threaded implementations.
 	BruteForceParallel
+	// SpiderMerge tests all candidates in one pass via a k-way min-heap
+	// merge over all attribute cursors — the production fast path: the
+	// single-pass I/O optimum without the event-driven synchronisation
+	// overhead the paper measures in Sec 3.3.
+	SpiderMerge
 )
 
 // String names the algorithm.
@@ -112,6 +124,8 @@ func (a Algorithm) String() string {
 		return "bell-brockhausen"
 	case BruteForceParallel:
 		return "brute-force-parallel"
+	case SpiderMerge:
+		return "spider-merge"
 	default:
 		return fmt.Sprintf("Algorithm(%d)", int(a))
 	}
@@ -138,6 +152,13 @@ type Options struct {
 	DepBlock, RefBlock int
 	// Workers sizes the BruteForceParallel pool (default GOMAXPROCS).
 	Workers int
+	// ExportWorkers bounds the attribute-export worker pool; 0 selects
+	// GOMAXPROCS, 1 exports sequentially (the paper's behaviour).
+	ExportWorkers int
+	// Streaming (SpiderMerge only) streams sorted values directly from
+	// external-sort spill runs instead of materializing one value file
+	// per attribute — export and verification become a single pipeline.
+	Streaming bool
 	// SQLEarlyStop lets ROWNUM stop the embedded engine early — the
 	// behaviour the paper could not obtain from the commercial optimizer.
 	SQLEarlyStop bool
@@ -307,8 +328,12 @@ func GeneratePDB(cfg DatasetConfig) *Database {
 // FindINDs discovers all satisfied unary INDs of db using the selected
 // algorithm.
 func FindINDs(db *Database, opts Options) (*Result, error) {
+	if opts.Streaming && opts.Algorithm != SpiderMerge {
+		return nil, fmt.Errorf("spider: Streaming requires Algorithm SpiderMerge (cursors are read once)")
+	}
+	exportFiles := needsFiles(opts.Algorithm) && !opts.Streaming
 	workDir := opts.WorkDir
-	if needsFiles(opts.Algorithm) && workDir == "" {
+	if exportFiles && workDir == "" {
 		tmp, err := os.MkdirTemp("", "spider-*")
 		if err != nil {
 			return nil, err
@@ -321,8 +346,12 @@ func FindINDs(db *Database, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if needsFiles(opts.Algorithm) {
-		if err := ind.ExportAttributes(db.rel, attrs, ind.ExportConfig{Dir: workDir}); err != nil {
+	if exportFiles {
+		workers := opts.ExportWorkers
+		if workers == 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		if err := ind.ExportAttributes(db.rel, attrs, ind.ExportConfig{Dir: workDir, Workers: workers}); err != nil {
 			return nil, err
 		}
 	}
@@ -350,6 +379,23 @@ func FindINDs(db *Database, opts Options) (*Result, error) {
 		res, err = ind.SinglePassBlocked(cands, ind.BlockedOptions{
 			DepBlock: opts.DepBlock, RefBlock: opts.RefBlock, Counter: &counter,
 		})
+	case SpiderMerge:
+		smOpts := ind.SpiderMergeOptions{Counter: &counter}
+		if opts.Streaming {
+			workers := opts.ExportWorkers
+			if workers == 0 {
+				workers = runtime.GOMAXPROCS(0)
+			}
+			src, serr := ind.StreamAttributes(db.rel, attrs, ind.ExportConfig{
+				Sort: extsort.Config{TempDir: opts.WorkDir}, Workers: workers,
+			}, &counter)
+			if serr != nil {
+				return nil, serr
+			}
+			defer src.Close()
+			smOpts.Source = src
+		}
+		res, err = ind.SpiderMerge(cands, smOpts)
 	case SQLJoin, SQLMinus, SQLNotIn:
 		variant := map[Algorithm]ind.SQLVariant{
 			SQLJoin: ind.SQLJoin, SQLMinus: ind.SQLMinus, SQLNotIn: ind.SQLNotIn,
@@ -388,7 +434,7 @@ func FindINDs(db *Database, opts Options) (*Result, error) {
 
 func needsFiles(a Algorithm) bool {
 	switch a {
-	case BruteForce, BruteForceParallel, SinglePass, SinglePassBlocked:
+	case BruteForce, BruteForceParallel, SinglePass, SinglePassBlocked, SpiderMerge:
 		return true
 	default:
 		return false

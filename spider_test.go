@@ -56,7 +56,7 @@ func TestFindINDsAllAlgorithms(t *testing.T) {
 		BruteForce, SinglePass, SinglePassBlocked,
 		SQLJoin, SQLMinus, SQLNotIn,
 		InMemory, DeMarchiBaseline, BellBrockhausenBaseline,
-		BruteForceParallel,
+		BruteForceParallel, SpiderMerge,
 	}
 	for _, algo := range algos {
 		t.Run(algo.String(), func(t *testing.T) {
@@ -93,11 +93,77 @@ func TestAlgorithmNames(t *testing.T) {
 		DeMarchiBaseline:        "demarchi",
 		BellBrockhausenBaseline: "bell-brockhausen",
 		BruteForceParallel:      "brute-force-parallel",
+		SpiderMerge:             "spider-merge",
 	}
 	for a, want := range names {
 		if a.String() != want {
 			t.Errorf("%d.String() = %q, want %q", a, a.String(), want)
 		}
+	}
+}
+
+// TestSpiderMergeStreaming runs the fully streaming pipeline: no value
+// files are materialized, yet the results match the file-backed run.
+func TestSpiderMergeStreaming(t *testing.T) {
+	want, err := FindINDs(demoDatabase(t), Options{Algorithm: SpiderMerge})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	got, err := FindINDs(demoDatabase(t), Options{Algorithm: SpiderMerge, Streaming: true, WorkDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.INDs, want.INDs) {
+		t.Errorf("streaming INDs = %v, want %v", got.INDs, want.INDs)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("streaming run left %d files in the work dir", len(entries))
+	}
+	if _, err := FindINDs(demoDatabase(t), Options{Algorithm: BruteForce, Streaming: true}); err == nil {
+		t.Error("Streaming with a re-reading algorithm must fail")
+	}
+}
+
+// TestSpiderMergeMatchesInMemoryOnDatasets is the acceptance check: the
+// heap-merge engine returns IND sets identical to the in-memory reference
+// on all three paper-shaped datasets.
+func TestSpiderMergeMatchesInMemoryOnDatasets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dataset generation in -short mode")
+	}
+	dbs := map[string]*Database{
+		"uniprot": GenerateUniProt(DatasetConfig{Scale: 0.05}),
+		"scop":    GenerateSCOP(DatasetConfig{Scale: 0.05}),
+		"pdb":     GeneratePDB(DatasetConfig{Scale: 0.02, Tables: 12}),
+	}
+	for name, db := range dbs {
+		t.Run(name, func(t *testing.T) {
+			want, err := FindINDs(db, Options{Algorithm: InMemory})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, opts := range []Options{
+				{Algorithm: SpiderMerge},
+				{Algorithm: SpiderMerge, Streaming: true},
+			} {
+				got, err := FindINDs(db, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got.INDs, want.INDs) {
+					t.Errorf("streaming=%v: INDs = %v, want %v", opts.Streaming, got.INDs, want.INDs)
+				}
+				if got.Stats.Candidates != want.Stats.Candidates || got.Stats.Satisfied != want.Stats.Satisfied {
+					t.Errorf("streaming=%v: stats = %+v, want candidates %d satisfied %d",
+						opts.Streaming, got.Stats, want.Stats.Candidates, want.Stats.Satisfied)
+				}
+			}
+		})
 	}
 }
 
