@@ -13,6 +13,9 @@
 //	                       event-driven single pass (UniProt, scale 0.25)
 //	BenchmarkExportWorkers, BenchmarkStreamingSpiderMerge — parallel
 //	                       attribute export and the streaming cursor path
+//	BenchmarkShardedSpiderMerge, BenchmarkShardedStreaming — the sharded
+//	                       engine: S value-range shards, one heap merge
+//	                       each, on a worker pool
 //
 // Times are not comparable to the paper's absolute numbers (its datasets
 // are ~100x larger and ran on a 2005 commercial RDBMS); the shapes — who
@@ -262,6 +265,78 @@ func BenchmarkModern_UniProt25(b *testing.B) {
 			}
 		}
 	})
+	// The acceptance comparison for the sharded engine: 4 value-range
+	// shards merged concurrently must beat the single-threaded merge by
+	// ≥2x wall clock on a multi-core runner, with identical INDs.
+	b.Run("sharded-4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var counter valfile.ReadCounter
+			res, err := ind.ShardedSpiderMerge(ds.Candidates, ind.ShardedMergeOptions{Counter: &counter, Shards: 4})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == b.N-1 {
+				reportRun(b, res)
+			}
+		}
+	})
+}
+
+// BenchmarkShardedSpiderMerge sweeps the shard count on the UniProt
+// dataset at scale 0.25. Each shard runs an independent heap merge over
+// one slice of the value space; satisfied counts must not move.
+func BenchmarkShardedSpiderMerge(b *testing.B) {
+	cfg := benchCfg()
+	cfg.UniProtScale = 0.25
+	ds := benchDatasetScaled(b, "uniprot-0.25", "uniprot", cfg)
+	base, err := ind.SpiderMerge(ds.Candidates, ind.SpiderMergeOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var counter valfile.ReadCounter
+				res, err := ind.ShardedSpiderMerge(ds.Candidates, ind.ShardedMergeOptions{
+					Counter: &counter, Shards: shards,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Stats.Satisfied != base.Stats.Satisfied {
+					b.Fatalf("sharding changed results: %d vs %d", res.Stats.Satisfied, base.Stats.Satisfied)
+				}
+				if i == b.N-1 {
+					reportRun(b, res)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkShardedStreaming runs the fully streaming sharded pipeline:
+// frozen spill runs replayed once per shard, no value files at all.
+func BenchmarkShardedStreaming(b *testing.B) {
+	ds := benchDataset(b, "uniprot")
+	for i := 0; i < b.N; i++ {
+		var counter valfile.ReadCounter
+		src, err := ind.StreamAttributesShared(ds.DB, ds.Attrs, ind.ExportConfig{
+			Sort: extsort.Config{TempDir: b.TempDir()},
+		}, &counter)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := ind.ShardedSpiderMerge(ds.Candidates, ind.ShardedMergeOptions{
+			Counter: &counter, Source: src, Shards: 4,
+		})
+		src.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportRun(b, res)
+		}
+	}
 }
 
 // BenchmarkExportWorkers sweeps the attribute-export worker pool on the

@@ -33,6 +33,9 @@ func main() {
 	workers := flag.Int("workers", 0, "worker pool size (brute-force-parallel; 0 = GOMAXPROCS)")
 	exportWorkers := flag.Int("exportworkers", 0, "attribute export workers (0 = GOMAXPROCS, 1 = sequential)")
 	streaming := flag.Bool("streaming", false, "stream values from sort spill runs, skipping value files (spider-merge)")
+	shards := flag.Int("shards", 0, "value-range shards merged concurrently (spider-merge; 0/1 = single merge)")
+	mergeWorkers := flag.Int("mergeworkers", 0, "shard worker pool size (0 = min(shards, GOMAXPROCS))")
+	partial := flag.Float64("partial", 0, "discover partial INDs at this threshold σ in (0, 1] instead of exact INDs")
 	nary := flag.Int("nary", 0, "also discover n-ary INDs up to this arity (0 = off)")
 	flag.Parse()
 
@@ -40,6 +43,19 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "indfind: %v\n", err)
 		os.Exit(1)
+	}
+
+	if *partial > 0 {
+		partials, stats, err := spider.FindPartialINDs(db, spider.PartialOptions{Threshold: *partial})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "indfind: %v\n", err)
+			os.Exit(1)
+		}
+		for _, p := range partials {
+			fmt.Println(p)
+		}
+		printStats(stats, fmt.Sprintf("partial σ=%g", *partial))
+		return
 	}
 
 	algorithm, err := parseAlgorithm(*algo)
@@ -57,6 +73,8 @@ func main() {
 		Workers:         *workers,
 		ExportWorkers:   *exportWorkers,
 		Streaming:       *streaming,
+		Shards:          *shards,
+		MergeWorkers:    *mergeWorkers,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "indfind: %v\n", err)
@@ -65,9 +83,11 @@ func main() {
 	for _, d := range res.INDs {
 		fmt.Println(d)
 	}
-	fmt.Printf("\n%d candidates, %d satisfied INDs, %d items read, %d comparisons, %s (%s)\n",
-		res.Stats.Candidates, res.Stats.Satisfied, res.Stats.ItemsRead,
-		res.Stats.Comparisons, res.Stats.Duration.Round(1e6), algorithm)
+	name := algorithm.String()
+	if *shards > 1 && algorithm == spider.SpiderMerge {
+		name = fmt.Sprintf("%s x%d shards", name, *shards)
+	}
+	printStats(res.Stats, name)
 
 	if *nary >= 2 {
 		naryINDs, err := spider.FindNaryINDs(db, spider.NaryOptions{MaxArity: *nary})
@@ -80,6 +100,14 @@ func main() {
 			fmt.Printf("  %s\n", d)
 		}
 	}
+}
+
+// printStats writes the run summary line.
+func printStats(st spider.Stats, approach string) {
+	fmt.Printf("\n%d candidates, %d satisfied INDs, %d items read, %d comparisons, "+
+		"%d max open files, %d events, %s (%s)\n",
+		st.Candidates, st.Satisfied, st.ItemsRead, st.Comparisons,
+		st.MaxOpenFiles, st.Events, st.Duration.Round(1e6), approach)
 }
 
 func openDatabase(csvDir, data string, scale float64, seed int64) (*spider.Database, error) {

@@ -61,7 +61,7 @@ func main() {
 		}
 	}
 
-	embedded, err := spider.FindEmbeddedINDs(db)
+	embedded, _, err := spider.FindEmbeddedINDs(db)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@ import (
 	"os"
 
 	"spider/internal/ind"
+	"spider/internal/valfile"
 )
 
 // This file exposes the paper's Sec 7 future-work extensions: partial
@@ -57,7 +58,8 @@ func FindPartialINDs(db *Database, opts PartialOptions) ([]PartialIND, Stats, er
 		return nil, Stats{}, err
 	}
 	cands, _ := ind.GenerateCandidates(attrs, ind.GenOptions{})
-	res, err := ind.BruteForcePartial(cands, ind.PartialOptions{Threshold: opts.Threshold})
+	var counter valfile.ReadCounter
+	res, err := ind.BruteForcePartial(cands, ind.PartialOptions{Threshold: opts.Threshold, Counter: &counter})
 	if err != nil {
 		return nil, Stats{}, err
 	}
@@ -70,13 +72,7 @@ func FindPartialINDs(db *Database, opts PartialOptions) ([]PartialIND, Stats, er
 			Missing:  m.Missing,
 		})
 	}
-	return out, Stats{
-		Candidates:  res.Stats.Candidates,
-		Satisfied:   res.Stats.Satisfied,
-		ItemsRead:   res.Stats.ItemsRead,
-		Comparisons: res.Stats.Comparisons,
-		Duration:    res.Stats.Duration,
-	}, nil
+	return out, convertStats(res.Stats), nil
 }
 
 // EmbeddedIND is an inclusion between transformed dependent values and a
@@ -144,19 +140,20 @@ func FindNaryINDs(db *Database, opts NaryOptions) ([]NaryIND, error) {
 // FindEmbeddedINDs discovers inclusions of embedded values (the paper's
 // "PDB-144f" example) using the standard transforms: after-dash,
 // before-dash and lowercase.
-func FindEmbeddedINDs(db *Database) ([]EmbeddedIND, error) {
+func FindEmbeddedINDs(db *Database) ([]EmbeddedIND, Stats, error) {
 	tmp, err := os.MkdirTemp("", "spider-embedded-*")
 	if err != nil {
-		return nil, err
+		return nil, Stats{}, err
 	}
 	defer os.RemoveAll(tmp)
 	attrs, err := ind.Prepare(db.rel, ind.ExportConfig{Dir: tmp})
 	if err != nil {
-		return nil, err
+		return nil, Stats{}, err
 	}
-	res, err := ind.FindEmbedded(db.rel, attrs, ind.EmbeddedOptions{Dir: tmp + "/derived"})
+	var counter valfile.ReadCounter
+	res, err := ind.FindEmbedded(db.rel, attrs, ind.EmbeddedOptions{Dir: tmp + "/derived", Counter: &counter})
 	if err != nil {
-		return nil, err
+		return nil, Stats{}, err
 	}
 	var out []EmbeddedIND
 	for _, e := range res.Satisfied {
@@ -166,5 +163,5 @@ func FindEmbeddedINDs(db *Database) ([]EmbeddedIND, error) {
 			Ref:       ColumnRef{Table: e.Ref.Table, Column: e.Ref.Column},
 		})
 	}
-	return out, nil
+	return out, convertStats(res.Stats), nil
 }

@@ -63,6 +63,11 @@ func TestFindPartialINDs(t *testing.T) {
 	if stats.Candidates == 0 {
 		t.Error("stats missing")
 	}
+	// Regression: the counter must be wired through BruteForcePartial —
+	// a run that scanned value files cannot report zero items read.
+	if stats.ItemsRead == 0 {
+		t.Error("FindPartialINDs Stats.ItemsRead = 0, counter not wired through")
+	}
 }
 
 func TestFindPartialINDsBadThreshold(t *testing.T) {
@@ -85,9 +90,16 @@ func TestFindEmbeddedINDs(t *testing.T) {
 	if err := db.AddTable("xrefs", []string{"pdb_ref"}, xrefs); err != nil {
 		t.Fatal(err)
 	}
-	embedded, err := FindEmbeddedINDs(db)
+	embedded, stats, err := FindEmbeddedINDs(db)
 	if err != nil {
 		t.Fatal(err)
+	}
+	// Regression: the counter must be wired through FindEmbedded.
+	if stats.ItemsRead == 0 {
+		t.Error("FindEmbeddedINDs Stats.ItemsRead = 0, counter not wired through")
+	}
+	if stats.Candidates == 0 {
+		t.Error("FindEmbeddedINDs Stats.Candidates = 0")
 	}
 	found := false
 	for _, e := range embedded {

@@ -226,6 +226,12 @@ func Table2(cfg Config) ([]Row, error) {
 			ds.Close()
 			return nil, err
 		}
+		if err := run("spider-merge (sharded x4)", func(c *valfile.ReadCounter) (*ind.Result, error) {
+			return ind.ShardedSpiderMerge(ds.Candidates, ind.ShardedMergeOptions{Counter: c, Shards: 4})
+		}); err != nil {
+			ds.Close()
+			return nil, err
+		}
 		ds.Close()
 	}
 	return rows, nil
@@ -413,6 +419,9 @@ type AblationResult struct {
 	// SpiderMerge: same I/O optimum, no event machinery (modern path).
 	SpiderMergeDuration time.Duration
 	SpiderMergeItems    int64
+	// Sharded merge: the value space split S ways, one heap merge per
+	// shard on a worker pool. Satisfied must match SpiderMerge exactly.
+	Sharded []ShardedPoint
 	// Block-wise single pass (Sec 4.2): open files vs items read.
 	Blocked []BlockedPoint
 	// SQL early stop (what the paper wished the optimizer did): not-in
@@ -427,6 +436,14 @@ type BlockedPoint struct {
 	MaxOpenFiles int
 	ItemsRead    int64
 	Duration     time.Duration
+}
+
+// ShardedPoint is one shard count of the sharded-merge ablation.
+type ShardedPoint struct {
+	Shards    int
+	Satisfied int
+	ItemsRead int64
+	Duration  time.Duration
 }
 
 // Ablations measures the three ablations on the UniProt dataset.
@@ -461,6 +478,24 @@ func Ablations(cfg Config) (*AblationResult, error) {
 	}
 	out.SpiderMergeDuration = sm.Stats.Duration
 	out.SpiderMergeItems = smC.Total()
+
+	for _, shards := range []int{1, 2, 4} {
+		var c valfile.ReadCounter
+		res, err := ind.ShardedSpiderMerge(ds.Candidates, ind.ShardedMergeOptions{Counter: &c, Shards: shards})
+		if err != nil {
+			return nil, err
+		}
+		if res.Stats.Satisfied != sm.Stats.Satisfied {
+			return nil, fmt.Errorf("experiments: sharding (S=%d) changed results: %d vs %d",
+				shards, res.Stats.Satisfied, sm.Stats.Satisfied)
+		}
+		out.Sharded = append(out.Sharded, ShardedPoint{
+			Shards:    shards,
+			Satisfied: res.Stats.Satisfied,
+			ItemsRead: c.Total(),
+			Duration:  res.Stats.Duration,
+		})
+	}
 
 	for _, block := range []int{8, 32, 128, 0} {
 		var c valfile.ReadCounter
@@ -577,6 +612,13 @@ func PrintAblations(w io.Writer, r *AblationResult) {
 		r.SinglePassEvents, r.SinglePassComparisons)
 	fmt.Fprintf(w, "  spider-merge: %s for %d items read, zero monitor events\n",
 		r.SpiderMergeDuration.Round(time.Millisecond), r.SpiderMergeItems)
+	fmt.Fprintln(w, "Ablation: sharded spider-merge (one heap merge per value-range shard)")
+	tws := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tws, "shards\tsatisfied\titems read\ttime")
+	for _, s := range r.Sharded {
+		fmt.Fprintf(tws, "%d\t%d\t%d\t%s\n", s.Shards, s.Satisfied, s.ItemsRead, s.Duration.Round(time.Millisecond))
+	}
+	tws.Flush()
 	fmt.Fprintln(w, "Ablation: block-wise single pass (Sec 4.2; DepBlock 0 = unblocked)")
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "dep block\tmax open files\titems read\ttime")

@@ -68,6 +68,15 @@ func TestTable2Shape(t *testing.T) {
 	if pdbBF.Satisfied == 0 || pdbBF.Satisfied != pdbSP.Satisfied {
 		t.Errorf("pdb results: bf %d, blocked sp %d", pdbBF.Satisfied, pdbSP.Satisfied)
 	}
+	// The sharded merge must agree with its single-threaded counterpart
+	// on every dataset.
+	for _, ds := range []string{"uniprot", "scop", "pdb"} {
+		sm := byKey[ds+"/spider-merge"]
+		sh := byKey[ds+"/spider-merge (sharded x4)"]
+		if sm.Satisfied != sh.Satisfied {
+			t.Errorf("%s: sharded merge disagrees: %d vs %d", ds, sh.Satisfied, sm.Satisfied)
+		}
+	}
 }
 
 // Figure 5 shape: single pass reads no more than brute force at every
@@ -159,6 +168,14 @@ func TestAblationsShape(t *testing.T) {
 	}
 	if len(r.Blocked) != 4 {
 		t.Fatalf("blocked points = %d", len(r.Blocked))
+	}
+	if len(r.Sharded) != 3 {
+		t.Fatalf("sharded points = %d", len(r.Sharded))
+	}
+	for _, s := range r.Sharded[1:] {
+		if s.Satisfied != r.Sharded[0].Satisfied {
+			t.Errorf("S=%d changed results: %d vs %d", s.Shards, s.Satisfied, r.Sharded[0].Satisfied)
+		}
 	}
 	smallest, unblocked := r.Blocked[0], r.Blocked[len(r.Blocked)-1]
 	if smallest.MaxOpenFiles >= unblocked.MaxOpenFiles {

@@ -153,7 +153,7 @@ func (s *Sorter) WriteTo(path string) (n int, max string, err error) {
 	if err != nil {
 		return 0, "", err
 	}
-	merge, err := newMerger(s.runs, s.buf)
+	merge, err := newMerger(s.runs, s.buf, "")
 	if err != nil {
 		w.Close()
 		return 0, "", err
@@ -189,7 +189,7 @@ func (s *Sorter) mergePass() error {
 		k = len(s.runs)
 	}
 	batch := s.runs[:k]
-	merge, err := newMerger(batch, nil)
+	merge, err := newMerger(batch, nil, "")
 	if err != nil {
 		return err
 	}
@@ -244,11 +244,15 @@ func (s *Sorter) Discard() {
 // directly from its spill runs and in-memory tail, without materializing
 // the merged file. It satisfies the same Next/Err/Close contract as a
 // valfile.Reader, so the IND engines can consume spill runs in place.
+// A cursor opened from a Runs handle may additionally be bounded to a
+// value range.
 type MergeCursor struct {
-	s       *Sorter
+	s       *Sorter // single-shot owner; nil for Runs-backed cursors
 	m       *merger
 	counter *valfile.ReadCounter
+	bounds  valfile.Range
 	err     error
+	done    bool
 	closed  bool
 }
 
@@ -269,7 +273,7 @@ func (s *Sorter) Cursor(counter *valfile.ReadCounter) (*MergeCursor, error) {
 			return nil, err
 		}
 	}
-	m, err := newMerger(s.runs, s.buf)
+	m, err := newMerger(s.runs, s.buf, "")
 	if err != nil {
 		s.cleanup()
 		return nil, err
@@ -277,34 +281,142 @@ func (s *Sorter) Cursor(counter *valfile.ReadCounter) (*MergeCursor, error) {
 	return &MergeCursor{s: s, m: m, counter: counter}, nil
 }
 
-// Next returns the next distinct value in sorted order.
+// Next returns the next distinct value in sorted order, restricted to the
+// cursor's bounds. Values before the range are skipped uncounted; the
+// merge stops at the first value at or past the upper bound.
 func (c *MergeCursor) Next() (string, bool) {
-	if c.err != nil || c.closed {
-		return "", false
+	for {
+		if c.err != nil || c.done || c.closed {
+			return "", false
+		}
+		v, ok, err := c.m.nextDistinct()
+		if err != nil {
+			c.err = err
+			return "", false
+		}
+		if !ok {
+			c.done = true
+			return "", false
+		}
+		if v < c.bounds.Lo {
+			continue
+		}
+		if c.bounds.HasHi && v >= c.bounds.Hi {
+			c.done = true // merged stream is sorted: nothing further qualifies
+			return "", false
+		}
+		c.counter.Add(1)
+		return v, true
 	}
-	v, ok, err := c.m.nextDistinct()
-	if err != nil {
-		c.err = err
-		return "", false
-	}
-	if !ok {
-		return "", false
-	}
-	c.counter.Add(1)
-	return v, true
 }
 
 // Err returns the first error encountered, if any.
 func (c *MergeCursor) Err() error { return c.err }
 
-// Close releases the run readers and removes the spill runs.
+// Close releases the run readers; cursors owning their sorter also remove
+// its spill runs (Runs-backed cursors leave them for the Runs handle).
 func (c *MergeCursor) Close() error {
 	if c.closed {
 		return nil
 	}
 	c.closed = true
 	c.m.close()
-	c.s.cleanup()
+	if c.s != nil {
+		c.s.cleanup()
+	}
+	return nil
+}
+
+// Runs is a finished sorter's frozen output: its spill runs plus the
+// sorted in-memory tail. Unlike Cursor's single-shot stream, a Runs
+// handle can be opened any number of times — concurrently, each cursor
+// optionally bounded to a value range — which is exactly the per-shard
+// replay the sharded merge engine needs. Close removes the spill runs;
+// it must not be called before every opened cursor is closed.
+type Runs struct {
+	runs   []string
+	mem    []string
+	closed bool
+}
+
+// Freeze finishes the sorter into a Runs handle, running intermediate
+// merge passes so any later open stays within the fan-in bound. The
+// Sorter cannot be reused.
+func (s *Sorter) Freeze() (*Runs, error) {
+	if s.closed {
+		return nil, fmt.Errorf("extsort: Freeze after finish")
+	}
+	s.closed = true
+	sortDedup(&s.buf)
+	for len(s.runs) > s.cfg.FanIn {
+		if err := s.mergePass(); err != nil {
+			s.cleanup()
+			return nil, err
+		}
+	}
+	r := &Runs{runs: s.runs, mem: s.buf}
+	s.runs, s.buf = nil, nil // ownership moves to the handle
+	return r, nil
+}
+
+// OpenRange returns a fresh merge cursor over the frozen runs, bounded to
+// [bounds.Lo, bounds.Hi). It is safe to call concurrently; every cursor
+// opens its own readers. counter may be nil.
+func (r *Runs) OpenRange(bounds valfile.Range, counter *valfile.ReadCounter) (*MergeCursor, error) {
+	if r.closed {
+		return nil, fmt.Errorf("extsort: OpenRange after Close")
+	}
+	// The in-memory tail is sorted: skip straight to the lower bound.
+	mem := r.mem[sort.SearchStrings(r.mem, bounds.Lo):]
+	m, err := newMerger(r.runs, mem, bounds.Lo)
+	if err != nil {
+		return nil, err
+	}
+	return &MergeCursor{m: m, counter: counter, bounds: bounds}, nil
+}
+
+// Sample returns cheap order statistics for shard boundary selection: the
+// front (first value) of every spill run plus up to k evenly spaced
+// values from the in-memory tail. The samples are not sorted.
+func (r *Runs) Sample(k int) ([]string, error) {
+	var out []string
+	for _, p := range r.runs {
+		reader, err := valfile.Open(p, nil)
+		if err != nil {
+			return nil, err
+		}
+		v, ok := reader.Next()
+		rerr := reader.Err()
+		reader.Close()
+		if rerr != nil {
+			return nil, rerr
+		}
+		if ok {
+			out = append(out, v)
+		}
+	}
+	if k > 0 && len(r.mem) > 0 {
+		step := len(r.mem) / k
+		if step == 0 {
+			step = 1
+		}
+		for i := 0; i < len(r.mem); i += step {
+			out = append(out, r.mem[i])
+		}
+	}
+	return out, nil
+}
+
+// Close removes the spill runs. Safe to call more than once.
+func (r *Runs) Close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	for _, p := range r.runs {
+		os.Remove(p)
+	}
+	r.runs, r.mem = nil, nil
 	return nil
 }
 
@@ -358,10 +470,13 @@ func (h *mergeHeap) Pop() interface{} {
 	return it
 }
 
-func newMerger(runs []string, mem []string) (*merger, error) {
+// newMerger k-way merges the runs and mem. A non-empty lo opens every
+// run reader positioned (by byte-offset binary search) at the first
+// value >= lo, so range shards skip the prefix cheaply.
+func newMerger(runs []string, mem []string, lo string) (*merger, error) {
 	m := &merger{mem: mem}
 	for _, p := range runs {
-		r, err := valfile.Open(p, nil)
+		r, err := valfile.OpenRange(p, nil, valfile.Range{Lo: lo})
 		if err != nil {
 			m.close()
 			return nil, err

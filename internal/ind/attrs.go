@@ -240,6 +240,38 @@ func StreamAttributes(db *relstore.Database, attrs []*Attribute, cfg ExportConfi
 	return src, nil
 }
 
+// StreamAttributesShared is the sharded-engine variant of
+// StreamAttributes: every attribute's sorter is frozen into shareable
+// runs (extsort.Runs) that can be opened any number of times and
+// range-restricted, so S shards can each replay the spill runs over
+// their own slice of the value space. Freezing (final sort and
+// deduplication of the in-memory tail, intermediate merge passes) runs
+// on the extraction worker pool. Attribute.Path stays empty; cfg.Dir is
+// unused. counter may be nil.
+func StreamAttributesShared(db *relstore.Database, attrs []*Attribute, cfg ExportConfig, counter *valfile.ReadCounter) (*RunsSource, error) {
+	src := NewRunsSource(counter)
+	var mu sync.Mutex
+	err := forEachAttribute(attrs, cfg.Workers, func(a *Attribute) error {
+		sorter, err := fillSorter(db, a, cfg.Sort)
+		if err != nil {
+			return err
+		}
+		runs, err := sorter.Freeze()
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		src.Add(a, runs)
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		src.Close()
+		return nil, err
+	}
+	return src, nil
+}
+
 // attrFileName builds a stable, filesystem-safe file name for an attribute.
 func attrFileName(a *Attribute) string {
 	sanitize := func(s string) string {

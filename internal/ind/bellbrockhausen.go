@@ -66,8 +66,10 @@ func BellBrockhausen(db *relstore.Database, attrs []*Attribute) (*BellBrockhause
 			res.Stats.TestedWithSQL++
 			res.Stats.ItemsRead += one.Stats.ItemsRead
 			res.Stats.Comparisons += one.Stats.Comparisons
-			filter.Record(c, sat)
 		}
+		// Record inferred outcomes too, so multi-hop chains keep
+		// propagating instead of falling back to SQL tests.
+		filter.Record(c, sat)
 		if sat {
 			res.Satisfied = append(res.Satisfied, IND{Dep: c.Dep.Ref, Ref: c.Ref.Ref})
 		}

@@ -71,6 +71,10 @@ func BruteForce(cands []Candidate, opts BruteForceOptions) (*Result, error) {
 		if filter != nil {
 			if inferred, decided := filter.Decide(c); decided {
 				sat = inferred
+				// Record the inferred outcome too: without it, multi-hop
+				// chains (A⊆B⊆C⊆D) stop propagating after one inference
+				// because A⊆C never becomes a premise for A⊆D.
+				filter.Record(c, sat)
 				if sat {
 					res.Satisfied = append(res.Satisfied, IND{Dep: c.Dep.Ref, Ref: c.Ref.Ref})
 				}

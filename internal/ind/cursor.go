@@ -2,6 +2,7 @@ package ind
 
 import (
 	"fmt"
+	"sort"
 
 	"spider/internal/extsort"
 	"spider/internal/valfile"
@@ -66,6 +67,23 @@ type CursorSource interface {
 	Open(a *Attribute) (Cursor, error)
 }
 
+// RangeSource is a CursorSource that can additionally open cursors
+// restricted to a canonical value range — the access path of the sharded
+// merge engine, whose shards each stream one disjoint slice of the value
+// space. OpenRange must be safe for concurrent use and must allow the
+// same attribute to be opened once per shard.
+type RangeSource interface {
+	CursorSource
+	OpenRange(a *Attribute, bounds valfile.Range) (Cursor, error)
+}
+
+// BoundarySampler is optionally implemented by sources that can produce
+// cheap order statistics of an attribute's value set (e.g. spill-run
+// fronts); the sharded engine folds them into its boundary selection.
+type BoundarySampler interface {
+	SampleBounds(a *Attribute, k int) ([]string, error)
+}
+
 // FileSource opens the sorted value files written by ExportAttributes.
 // Every delivered item is counted by Counter (may be nil).
 type FileSource struct {
@@ -74,10 +92,15 @@ type FileSource struct {
 
 // Open opens the attribute's exported value file.
 func (s FileSource) Open(a *Attribute) (Cursor, error) {
+	return s.OpenRange(a, valfile.Range{})
+}
+
+// OpenRange opens the attribute's exported value file bounded to bounds.
+func (s FileSource) OpenRange(a *Attribute, bounds valfile.Range) (Cursor, error) {
 	if a.Path == "" {
 		return nil, fmt.Errorf("ind: attribute %s has no exported value file", a.Ref)
 	}
-	return valfile.Open(a.Path, s.Counter)
+	return valfile.OpenRange(a.Path, s.Counter, bounds)
 }
 
 // MemorySource serves attributes from in-memory sorted distinct sets
@@ -89,11 +112,22 @@ type MemorySource struct {
 
 // Open returns a cursor over the attribute's in-memory value set.
 func (s MemorySource) Open(a *Attribute) (Cursor, error) {
+	return s.OpenRange(a, valfile.Range{})
+}
+
+// OpenRange returns a cursor over the in-range sub-slice of the
+// attribute's sorted value set, found by binary search.
+func (s MemorySource) OpenRange(a *Attribute, bounds valfile.Range) (Cursor, error) {
 	vals, ok := s.Sets[a.ID]
 	if !ok {
 		return nil, fmt.Errorf("ind: attribute %s has no in-memory value set", a.Ref)
 	}
-	return NewSliceCursor(vals, s.Counter), nil
+	lo := sort.SearchStrings(vals, bounds.Lo)
+	hi := len(vals)
+	if bounds.HasHi {
+		hi = lo + sort.SearchStrings(vals[lo:], bounds.Hi)
+	}
+	return NewSliceCursor(vals[lo:hi], s.Counter), nil
 }
 
 // SorterSource streams each attribute's sorted distinct values directly
@@ -135,9 +169,72 @@ func (s *SorterSource) Close() error {
 	return nil
 }
 
+// RunsSource serves attributes from frozen external-sort runs
+// (extsort.Runs). Unlike SorterSource, every attribute can be opened any
+// number of times — concurrently, each cursor optionally bounded to a
+// value range — so it backs both the plain streaming path and the
+// sharded engine's per-shard replay. Close removes all spill runs.
+type RunsSource struct {
+	runs    map[int]*extsort.Runs
+	counter *valfile.ReadCounter
+}
+
+// NewRunsSource returns an empty source; counter may be nil.
+func NewRunsSource(counter *valfile.ReadCounter) *RunsSource {
+	return &RunsSource{runs: make(map[int]*extsort.Runs), counter: counter}
+}
+
+// Add registers the frozen runs holding a's values. The source takes
+// ownership; Close releases them.
+func (s *RunsSource) Add(a *Attribute, runs *extsort.Runs) {
+	s.runs[a.ID] = runs
+}
+
+// Open returns an unbounded cursor over the attribute's runs.
+func (s *RunsSource) Open(a *Attribute) (Cursor, error) {
+	return s.OpenRange(a, valfile.Range{})
+}
+
+// OpenRange returns a cursor over the attribute's runs bounded to bounds.
+func (s *RunsSource) OpenRange(a *Attribute, bounds valfile.Range) (Cursor, error) {
+	runs, ok := s.runs[a.ID]
+	if !ok {
+		return nil, fmt.Errorf("ind: attribute %s has no frozen runs", a.Ref)
+	}
+	return runs.OpenRange(bounds, s.counter)
+}
+
+// SampleBounds returns spill-run fronts and in-memory-tail samples of the
+// attribute, feeding the sharded engine's boundary selection.
+func (s *RunsSource) SampleBounds(a *Attribute, k int) ([]string, error) {
+	runs, ok := s.runs[a.ID]
+	if !ok {
+		return nil, fmt.Errorf("ind: attribute %s has no frozen runs", a.Ref)
+	}
+	return runs.Sample(k)
+}
+
+// Close removes every attribute's spill runs.
+func (s *RunsSource) Close() error {
+	for id, runs := range s.runs {
+		runs.Close()
+		delete(s.runs, id)
+	}
+	return nil
+}
+
 // sourceOrFiles is the engine-side default: an explicit source wins,
 // otherwise the exported value files are read and counted.
 func sourceOrFiles(src CursorSource, counter *valfile.ReadCounter) CursorSource {
+	if src != nil {
+		return src
+	}
+	return FileSource{Counter: counter}
+}
+
+// rangeSourceOrFiles is sourceOrFiles for the sharded engine, which needs
+// range-restricted opens.
+func rangeSourceOrFiles(src RangeSource, counter *valfile.ReadCounter) RangeSource {
 	if src != nil {
 		return src
 	}

@@ -1,0 +1,303 @@
+package ind
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spider/internal/valfile"
+)
+
+// ShardedMergeOptions tunes the sharded heap-merge run.
+type ShardedMergeOptions struct {
+	// Counter receives every item read; nil disables external counting.
+	Counter *valfile.ReadCounter
+	// Source provides range-restricted cursors; nil selects the sorted
+	// value files written by ExportAttributes, counted by Counter.
+	Source RangeSource
+	// Shards is S, the number of disjoint value ranges merged
+	// independently. Zero or one selects a single unsharded merge.
+	Shards int
+	// Workers bounds the shard worker pool; zero selects
+	// min(Shards, GOMAXPROCS).
+	Workers int
+	// Boundaries overrides the sampled shard boundaries: strictly
+	// ascending values b_1 < … < b_{S-1}; shard i merges the range
+	// [b_i, b_{i+1}) with b_0 = "" and b_S = +∞. When nil, boundaries are
+	// chosen by sampling attribute min/max values and, where the source
+	// supports it, spill-run fronts.
+	Boundaries []string
+}
+
+// ShardedSpiderMerge partitions the canonical value space into S disjoint
+// ranges and runs one independent SpiderMerge heap merge per range on a
+// bounded worker pool. Within a shard, every candidate d ⊆ r is tested
+// against only the values falling into the shard's range; because the
+// ranges are disjoint and both sides of a candidate are restricted to the
+// same range, a dependent value can only be matched inside its own shard.
+// A candidate is therefore satisfied overall iff no shard refutes it —
+// the per-shard verdicts combine by intersection. The output is identical
+// to SpiderMerge's; the merge front, the k-way heaps, and the candidate
+// bookkeeping are partitioned S ways and run concurrently.
+func ShardedSpiderMerge(cands []Candidate, opts ShardedMergeOptions) (*Result, error) {
+	start := time.Now()
+	src := rangeSourceOrFiles(opts.Source, opts.Counter)
+
+	shards := opts.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	bounds := opts.Boundaries
+	if bounds == nil && shards > 1 {
+		var err error
+		bounds, err = shardBoundaries(cands, src, shards)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			return nil, fmt.Errorf("ind: shard boundaries must be strictly ascending, got %q after %q", bounds[i], bounds[i-1])
+		}
+	}
+	ranges := shardRanges(bounds)
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(ranges) {
+		workers = len(ranges)
+	}
+
+	// Deduplicate candidate pairs once: the per-shard merges and the
+	// trivial-satisfaction shortcut below must count each pair exactly
+	// once per shard.
+	uniq := cands
+	{
+		seen := make(map[[2]int]bool, len(cands))
+		dedup := make([]Candidate, 0, len(cands))
+		for _, c := range cands {
+			key := [2]int{c.Dep.ID, c.Ref.ID}
+			if !seen[key] {
+				seen[key] = true
+				dedup = append(dedup, c)
+			}
+		}
+		uniq = dedup
+	}
+
+	// Run one independent heap merge per shard. Shards share nothing but
+	// the (atomic) read counter: every shard opens its own cursors and
+	// keeps its own candidate state, so the pool is race-free by
+	// construction. Candidates whose dependent attribute provably has no
+	// values inside the shard's range are satisfied there by definition
+	// (∅ ⊆ r) and skip the merge entirely, so a shard's candidate state
+	// is proportional to its slice of the value space.
+	type shardResult struct {
+		sm   *spiderMerge
+		auto [][2]int
+	}
+	perShard := make([]shardResult, len(ranges))
+	var (
+		wg     sync.WaitGroup
+		next   atomic.Int64
+		errMu  sync.Mutex
+		runErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(ranges) {
+					return
+				}
+				errMu.Lock()
+				failed := runErr != nil
+				errMu.Unlock()
+				if failed {
+					return
+				}
+				shardCands := make([]Candidate, 0, len(uniq))
+				var auto [][2]int
+				for _, c := range uniq {
+					if attrOutsideRange(c.Dep, ranges[i]) {
+						auto = append(auto, [2]int{c.Dep.ID, c.Ref.ID})
+					} else {
+						shardCands = append(shardCands, c)
+					}
+				}
+				sm := newSpiderMerge(shardSource{src: src, bounds: ranges[i]})
+				err := sm.run(shardCands)
+				sm.closeAll()
+				if err != nil {
+					errMu.Lock()
+					if runErr == nil {
+						runErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+				perShard[i] = shardResult{sm: sm, auto: auto}
+			}
+		}()
+	}
+	wg.Wait()
+	if runErr != nil {
+		return nil, runErr
+	}
+
+	// Combine: a candidate survives iff every shard satisfied it; stats
+	// sum across shards except MaxOpenFiles, which is a per-merge peak.
+	res := &Result{}
+	surviving := make(map[[2]int]int)
+	attrByID := make(map[int]*Attribute)
+	for _, c := range cands {
+		attrByID[c.Dep.ID] = c.Dep
+		attrByID[c.Ref.ID] = c.Ref
+	}
+	for _, sr := range perShard {
+		for _, key := range sr.sm.satisfiedIDs {
+			surviving[key]++
+		}
+		for _, key := range sr.auto {
+			surviving[key]++
+		}
+		res.Stats.Comparisons += sr.sm.stats.Comparisons
+		res.Stats.FilesOpened += sr.sm.stats.FilesOpened
+		if sr.sm.stats.MaxOpenFiles > res.Stats.MaxOpenFiles {
+			res.Stats.MaxOpenFiles = sr.sm.stats.MaxOpenFiles
+		}
+	}
+	for key, n := range surviving {
+		if n == len(ranges) {
+			res.Satisfied = append(res.Satisfied, IND{
+				Dep: attrByID[key[0]].Ref, Ref: attrByID[key[1]].Ref,
+			})
+		}
+	}
+	res.Stats.Candidates = len(cands)
+	res.Stats.Satisfied = len(res.Satisfied)
+	res.Stats.ItemsRead = opts.Counter.Total()
+	res.Stats.Duration = time.Since(start)
+	sortINDs(res.Satisfied)
+	return res, nil
+}
+
+// shardSource views a RangeSource through one shard's bounds, giving the
+// per-shard spiderMerge an ordinary CursorSource. Attributes whose
+// [MinCanonical, MaxCanonical] span provably misses the shard's range
+// are served a canned empty cursor without touching the underlying
+// source at all — value domains are typically localized (integers here,
+// accession strings there), so most shards open only a fraction of the
+// attributes.
+type shardSource struct {
+	src    RangeSource
+	bounds valfile.Range
+}
+
+func (s shardSource) Open(a *Attribute) (Cursor, error) {
+	if a.Distinct > 0 && attrOutsideRange(a, s.bounds) {
+		return emptyCursor{}, nil
+	}
+	return s.src.OpenRange(a, s.bounds)
+}
+
+// attrOutsideRange reports whether the attribute's catalog statistics
+// prove it has no values inside bounds: either the value set is empty,
+// or its [MinCanonical, MaxCanonical] span misses the range. The
+// statistics come from the same extraction pipeline as the value
+// streams, exactly like the Sec 4.1 max-value pretest.
+func attrOutsideRange(a *Attribute, bounds valfile.Range) bool {
+	if a.Distinct == 0 {
+		return true
+	}
+	return a.MaxCanonical < bounds.Lo || (bounds.HasHi && a.MinCanonical >= bounds.Hi)
+}
+
+// emptyCursor is an always-exhausted cursor: the in-shard view of an
+// attribute with no values in the shard's range.
+type emptyCursor struct{}
+
+func (emptyCursor) Next() (string, bool) { return "", false }
+func (emptyCursor) Err() error           { return nil }
+func (emptyCursor) Close() error         { return nil }
+
+// shardRanges turns S-1 ascending boundaries into S half-open ranges
+// covering the whole value space.
+func shardRanges(bounds []string) []valfile.Range {
+	ranges := make([]valfile.Range, 0, len(bounds)+1)
+	lo := ""
+	for _, b := range bounds {
+		ranges = append(ranges, valfile.Range{Lo: lo, Hi: b, HasHi: true})
+		lo = b
+	}
+	return append(ranges, valfile.Range{Lo: lo})
+}
+
+// shardBoundaries picks at most shards-1 strictly ascending boundary
+// values from cheap order statistics of the candidate attributes: every
+// attribute's canonical minimum and maximum plus, when the source
+// implements BoundarySampler, spill-run fronts. Quantiles of the pooled
+// sample approximate an even split of the merged value space; skewed
+// samples collapse into fewer (still correct) shards.
+func shardBoundaries(cands []Candidate, src RangeSource, shards int) ([]string, error) {
+	attrs := make(map[int]*Attribute)
+	for _, c := range cands {
+		attrs[c.Dep.ID] = c.Dep
+		attrs[c.Ref.ID] = c.Ref
+	}
+	ids := make([]int, 0, len(attrs))
+	for id := range attrs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
+	sampler, _ := src.(BoundarySampler)
+	var sample []string
+	for _, id := range ids {
+		a := attrs[id]
+		if a.Distinct > 0 || a.NonNull > 0 {
+			sample = append(sample, a.MinCanonical, a.MaxCanonical)
+		}
+		if sampler != nil {
+			vs, err := sampler.SampleBounds(a, 4)
+			if err != nil {
+				return nil, err
+			}
+			sample = append(sample, vs...)
+		}
+	}
+	sort.Strings(sample)
+	sample = dedupSorted(sample)
+	if len(sample) == 0 {
+		return nil, nil
+	}
+
+	var bounds []string
+	for i := 1; i < shards; i++ {
+		b := sample[i*len(sample)/shards]
+		// Quantiles of a small sample may repeat; and a boundary equal to
+		// the global minimum would only produce an empty first shard.
+		if b > sample[0] && (len(bounds) == 0 || b > bounds[len(bounds)-1]) {
+			bounds = append(bounds, b)
+		}
+	}
+	return bounds, nil
+}
+
+// dedupSorted removes duplicates from a sorted slice in place.
+func dedupSorted(vals []string) []string {
+	out := vals[:0]
+	for i, v := range vals {
+		if i == 0 || v != vals[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

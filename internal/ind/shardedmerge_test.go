@@ -1,0 +1,192 @@
+package ind
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"spider/internal/extsort"
+	"spider/internal/relstore"
+	"spider/internal/valfile"
+)
+
+// sharedRunsSource builds a RunsSource feeding each attribute's values
+// (shuffled, duplicated) through a tiny-budget external sorter, so the
+// spill-run replay path is exercised.
+func sharedRunsSource(t *testing.T, rng *rand.Rand, dir string, attrs []*Attribute, sets map[int][]string) *RunsSource {
+	t.Helper()
+	src := NewRunsSource(nil)
+	for _, a := range attrs {
+		sorter := extsort.New(extsort.Config{MaxInMemory: 4, TempDir: dir})
+		vals := append([]string(nil), sets[a.ID]...)
+		vals = append(vals, sets[a.ID]...) // duplicates
+		rng.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+		for _, v := range vals {
+			if err := sorter.Add(v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		runs, err := sorter.Freeze()
+		if err != nil {
+			t.Fatal(err)
+		}
+		src.Add(a, runs)
+	}
+	return src
+}
+
+// TestShardedSpiderMergePropertyAgreement is the sharded engine's
+// cross-algorithm property test: on randomly generated databases,
+// ShardedSpiderMerge at S ∈ {1, 2, 4, 7} — over files, memory, and
+// shared spill runs — agrees exactly with the in-memory Reference oracle
+// and with the single-threaded SpiderMerge.
+func TestShardedSpiderMergePropertyAgreement(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			dir := t.TempDir()
+			attrs, sets := randomAttrs(t, rng, dir, 3+rng.Intn(12))
+			cands := allPairs(attrs)
+
+			want := Reference(cands, sets)
+			sm, err := SpiderMerge(cands, SpiderMergeOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(sm.Satisfied, want.Satisfied) {
+				t.Fatalf("spider-merge disagrees with reference: %v vs %v", sm.Satisfied, want.Satisfied)
+			}
+
+			for _, shards := range []int{1, 2, 4, 7} {
+				workers := 1 + rng.Intn(4)
+				var c valfile.ReadCounter
+				got, err := ShardedSpiderMerge(cands, ShardedMergeOptions{
+					Counter: &c, Shards: shards, Workers: workers,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotMem, err := ShardedSpiderMerge(cands, ShardedMergeOptions{
+					Source: MemorySource{Sets: sets}, Shards: shards, Workers: workers,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				src := sharedRunsSource(t, rng, dir, attrs, sets)
+				gotStream, err := ShardedSpiderMerge(cands, ShardedMergeOptions{
+					Source: src, Shards: shards, Workers: workers,
+				})
+				src.Close()
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				for name, res := range map[string]*Result{
+					"files":  got,
+					"memory": gotMem,
+					"stream": gotStream,
+				} {
+					if !reflect.DeepEqual(res.Satisfied, want.Satisfied) {
+						t.Errorf("S=%d/%s INDs = %v\nwant %v", shards, name, res.Satisfied, want.Satisfied)
+					}
+					if res.Stats.Candidates != want.Stats.Candidates || res.Stats.Satisfied != want.Stats.Satisfied {
+						t.Errorf("S=%d/%s stats = %d/%d, want %d/%d", shards, name,
+							res.Stats.Candidates, res.Stats.Satisfied,
+							want.Stats.Candidates, want.Stats.Satisfied)
+					}
+				}
+				if got.Stats.ItemsRead != c.Total() {
+					t.Errorf("S=%d ItemsRead = %d, counter %d", shards, got.Stats.ItemsRead, c.Total())
+				}
+			}
+		})
+	}
+}
+
+// TestShardedSpiderMergeExplicitBoundaries pins the range semantics: a
+// hand-chosen boundary set must split the work yet return the same INDs,
+// and boundaries out of order must be rejected.
+func TestShardedSpiderMergeExplicitBoundaries(t *testing.T) {
+	sets := map[int][]string{
+		0: {"a", "b", "m", "z"},
+		1: {"a", "b", "c", "m", "n", "z"},
+		2: {"b", "m"},
+	}
+	attrs := make([]*Attribute, 3)
+	for i := range attrs {
+		n := len(sets[i])
+		attrs[i] = &Attribute{
+			ID: i, Ref: relstore.ColumnRef{Table: "t", Column: fmt.Sprintf("c%d", i)},
+			Rows: n, NonNull: n, Distinct: n, Unique: true,
+			MinCanonical: sets[i][0], MaxCanonical: sets[i][n-1],
+		}
+	}
+	cands := allPairs(attrs)
+	want := Reference(cands, sets)
+
+	res, err := ShardedSpiderMerge(cands, ShardedMergeOptions{
+		Source:     MemorySource{Sets: sets},
+		Shards:     3,
+		Boundaries: []string{"c", "n"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Satisfied, want.Satisfied) {
+		t.Errorf("INDs = %v, want %v", res.Satisfied, want.Satisfied)
+	}
+
+	if _, err := ShardedSpiderMerge(cands, ShardedMergeOptions{
+		Source:     MemorySource{Sets: sets},
+		Shards:     3,
+		Boundaries: []string{"n", "c"},
+	}); err == nil {
+		t.Error("descending boundaries must be rejected")
+	}
+}
+
+// TestShardedSpiderMergeEmptyCandidates covers the degenerate run.
+func TestShardedSpiderMergeEmptyCandidates(t *testing.T) {
+	res, err := ShardedSpiderMerge(nil, ShardedMergeOptions{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Satisfied) != 0 || res.Stats.Candidates != 0 {
+		t.Errorf("empty run = %+v", res.Stats)
+	}
+}
+
+// TestShardedSpiderMergeStatsAggregation asserts the per-shard stats
+// combination rules: Comparisons and FilesOpened sum over shards,
+// MaxOpenFiles is the per-merge peak (never more than one cursor per
+// involved attribute).
+func TestShardedSpiderMergeStatsAggregation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	dir := t.TempDir()
+	attrs, _ := randomAttrs(t, rng, dir, 10)
+	cands := allPairs(attrs)
+
+	single, err := ShardedSpiderMerge(cands, ShardedMergeOptions{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := ShardedSpiderMerge(cands, ShardedMergeOptions{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FilesOpened sums across shards; range pruning means a shard opens
+	// only its overlapping attributes, so the total is bounded by one
+	// open per attribute per shard and must stay positive.
+	if sharded.Stats.FilesOpened == 0 || sharded.Stats.FilesOpened > 4*single.Stats.FilesOpened {
+		t.Errorf("sharded FilesOpened = %d implausible (single merge: %d)",
+			sharded.Stats.FilesOpened, single.Stats.FilesOpened)
+	}
+	if sharded.Stats.MaxOpenFiles > len(attrs) || sharded.Stats.MaxOpenFiles == 0 {
+		t.Errorf("MaxOpenFiles = %d, want in [1, %d] (one cursor per attribute)",
+			sharded.Stats.MaxOpenFiles, len(attrs))
+	}
+	if sharded.Stats.Comparisons == 0 && single.Stats.Comparisons > 0 {
+		t.Error("sharded Comparisons not aggregated")
+	}
+}

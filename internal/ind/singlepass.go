@@ -405,8 +405,8 @@ func (sp *singlePass) detach(d *depObj, r *refObj, satisfied bool) {
 		if r.reader != nil {
 			r.reader.Close()
 			r.reader = nil
+			sp.open--
 		}
-		sp.open--
 	} else {
 		// The departing dependent may have been the last one the
 		// referenced object was waiting for.

@@ -90,8 +90,11 @@ type spiderMerge struct {
 	h        smHeap
 
 	satisfied []IND
-	stats     Stats
-	open      int
+	// satisfiedIDs mirrors satisfied as (dep ID, ref ID) pairs; the sharded
+	// engine intersects shard verdicts by attribute identity.
+	satisfiedIDs [][2]int
+	stats        Stats
+	open         int
 }
 
 func newSpiderMerge(src CursorSource) *spiderMerge {
@@ -136,10 +139,15 @@ func (sm *spiderMerge) run(cands []Candidate) error {
 			return err
 		}
 		sm.cursors[id] = cur
-		sm.open++
-		sm.stats.FilesOpened++
-		if sm.open > sm.stats.MaxOpenFiles {
-			sm.stats.MaxOpenFiles = sm.open
+		// Canned empty cursors (a shard's view of an attribute with no
+		// values in range) open no file and must not distort the Sec 4.2
+		// open-files metric.
+		if _, empty := cur.(emptyCursor); !empty {
+			sm.open++
+			sm.stats.FilesOpened++
+			if sm.open > sm.stats.MaxOpenFiles {
+				sm.stats.MaxOpenFiles = sm.open
+			}
 		}
 	}
 	for _, id := range ids {
@@ -226,6 +234,7 @@ func (sm *spiderMerge) advance(id int) error {
 		sort.Ints(survivors)
 		for _, r := range survivors {
 			sm.satisfied = append(sm.satisfied, IND{Dep: sm.attrs[id].Ref, Ref: sm.attrs[r].Ref})
+			sm.satisfiedIDs = append(sm.satisfiedIDs, [2]int{id, r})
 			sm.drop(id, r)
 		}
 	}
@@ -260,7 +269,9 @@ func (sm *spiderMerge) closeCursor(id int) {
 	if cur := sm.cursors[id]; cur != nil {
 		cur.Close()
 		sm.cursors[id] = nil
-		sm.open--
+		if _, empty := cur.(emptyCursor); !empty {
+			sm.open--
+		}
 	}
 }
 

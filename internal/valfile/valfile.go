@@ -144,6 +144,25 @@ func (c *ReadCounter) Reset() {
 	}
 }
 
+// Range restricts a cursor to canonical values in the half-open interval
+// [Lo, Hi). The empty string is the minimum value, so the zero Range is
+// unbounded; HasHi distinguishes an exclusive upper bound from "no upper
+// bound". Range sharding partitions the sorted value space into disjoint
+// ranges, one independent merge per range.
+type Range struct {
+	Lo    string
+	Hi    string
+	HasHi bool
+}
+
+// Contains reports whether v falls inside the range.
+func (r Range) Contains(v string) bool {
+	return v >= r.Lo && (!r.HasHi || v < r.Hi)
+}
+
+// Unbounded reports whether the range covers the whole value space.
+func (r Range) Unbounded() bool { return r.Lo == "" && !r.HasHi }
+
 // Reader iterates a value file's values in order. Each successful Next
 // increments both the per-reader count and the shared ReadCounter (if
 // any). The zero Reader is not usable; use Open.
@@ -155,39 +174,147 @@ type Reader struct {
 	err     error
 	done    bool
 	path    string
+	bounds  Range
 }
 
 // Open opens a value file for reading. counter may be nil.
 func Open(path string, counter *ReadCounter) (*Reader, error) {
+	return OpenRange(path, counter, Range{})
+}
+
+// OpenRange opens a value file restricted to bounds: Next delivers only
+// the values in [bounds.Lo, bounds.Hi), skipping the prefix and stopping
+// at the upper bound. Skipped values are not counted — the counters
+// measure items delivered to the algorithms, the paper's Figure 5 metric.
+//
+// A lower bound does not cost a linear scan of the prefix: records are
+// newline-framed and sorted, so the reader binary-searches raw byte
+// offsets (a probe seeks, aligns to the next record boundary, and reads
+// one value) and starts within one probe window of the first in-range
+// record. Range shards therefore pay I/O roughly proportional to their
+// own slice of the file.
+func OpenRange(path string, counter *ReadCounter, bounds Range) (*Reader, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("valfile: %w", err)
 	}
+	if bounds.Lo != "" {
+		if _, err := seekLowerBound(f, bounds.Lo); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("valfile: %s: %w", path, err)
+		}
+	}
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
-	return &Reader{f: f, sc: sc, counter: counter, path: path}, nil
+	return &Reader{f: f, sc: sc, counter: counter, path: path, bounds: bounds}, nil
+}
+
+// seekProbeWindow is the bisection stop: once the candidate window is
+// this small, the remaining prefix is skipped linearly by Next.
+const seekProbeWindow = 64 << 10
+
+// seekLowerBound positions f at a record boundary at or before the first
+// record with value >= lo, by binary search over byte offsets. The
+// caller's skip loop handles the (short) remaining prefix, so the search
+// only needs to be approximately right, never wrong.
+func seekLowerBound(f *os.File, lo string) (int64, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	size := st.Size()
+	// Invariant: some record starting at or after a "low" offset may still
+	// be < lo; every record starting at or after "high"... is irrelevant —
+	// we only ever move "low" to a probed record start whose value is
+	// < lo, which is always a safe place to begin the linear skip.
+	low, high := int64(0), size
+	for high-low > seekProbeWindow {
+		mid := (low + high) / 2
+		start, val, ok, err := probeRecord(f, mid, size)
+		if err != nil {
+			return 0, err
+		}
+		if !ok || start >= high {
+			// No complete record begins in [mid, high): tighten from above.
+			high = mid
+			continue
+		}
+		if val < lo {
+			low = start
+		} else {
+			high = mid
+		}
+	}
+	if low > 0 {
+		// Re-align: low is a record start (it was returned by a probe).
+		if _, err := f.Seek(low, io.SeekStart); err != nil {
+			return 0, err
+		}
+	}
+	return low, nil
+}
+
+// probeRecord returns the start offset and unescaped value of the first
+// complete record beginning at or after off. ok is false when no record
+// starts before the end of the file. Appended files always end in '\n',
+// so every record located this way is complete.
+func probeRecord(f *os.File, off, size int64) (start int64, val string, ok bool, err error) {
+	start = off
+	br := bufio.NewReaderSize(io.NewSectionReader(f, off, size-off), 64<<10)
+	if off > 0 {
+		// off may fall mid-record: align to the byte after the next '\n'.
+		skipped, err := br.ReadBytes('\n')
+		if err == io.EOF {
+			return 0, "", false, nil
+		}
+		if err != nil {
+			return 0, "", false, err
+		}
+		start = off + int64(len(skipped))
+	}
+	line, err := br.ReadBytes('\n')
+	if err == io.EOF {
+		return 0, "", false, nil
+	}
+	if err != nil {
+		return 0, "", false, err
+	}
+	v, err := unescape(string(line[:len(line)-1]))
+	if err != nil {
+		return 0, "", false, err
+	}
+	return start, v, true, nil
 }
 
 // Next returns the next value. ok is false at end of file or on error;
 // check Err after the iteration ends.
 func (r *Reader) Next() (v string, ok bool) {
-	if r.done || r.err != nil {
-		return "", false
+	for {
+		if r.done || r.err != nil {
+			return "", false
+		}
+		if !r.sc.Scan() {
+			r.done = true
+			r.err = r.sc.Err()
+			return "", false
+		}
+		v, err := unescape(r.sc.Text())
+		if err != nil {
+			r.err = fmt.Errorf("%s: %w", r.path, err)
+			r.done = true
+			return "", false
+		}
+		if v < r.bounds.Lo {
+			continue // before the range: skip, uncounted
+		}
+		if r.bounds.HasHi && v >= r.bounds.Hi {
+			r.done = true // the file is sorted: nothing further qualifies
+			return "", false
+		}
+		r.read++
+		r.counter.Add(1)
+		return v, true
 	}
-	if !r.sc.Scan() {
-		r.done = true
-		r.err = r.sc.Err()
-		return "", false
-	}
-	v, err := unescape(r.sc.Text())
-	if err != nil {
-		r.err = fmt.Errorf("%s: %w", r.path, err)
-		r.done = true
-		return "", false
-	}
-	r.read++
-	r.counter.Add(1)
-	return v, true
 }
 
 // Read returns the number of items this reader has delivered.

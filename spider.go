@@ -159,6 +159,14 @@ type Options struct {
 	// external-sort spill runs instead of materializing one value file
 	// per attribute — export and verification become a single pipeline.
 	Streaming bool
+	// Shards (SpiderMerge only) partitions the canonical value space into
+	// that many disjoint ranges and runs one independent heap merge per
+	// range concurrently; 0 or 1 keeps the single-threaded merge. The IND
+	// output is identical regardless of the shard count.
+	Shards int
+	// MergeWorkers bounds the shard worker pool; 0 selects
+	// min(Shards, GOMAXPROCS).
+	MergeWorkers int
 	// SQLEarlyStop lets ROWNUM stop the embedded engine early — the
 	// behaviour the paper could not obtain from the commercial optimizer.
 	SQLEarlyStop bool
@@ -347,11 +355,7 @@ func FindINDs(db *Database, opts Options) (*Result, error) {
 		return nil, err
 	}
 	if exportFiles {
-		workers := opts.ExportWorkers
-		if workers == 0 {
-			workers = runtime.GOMAXPROCS(0)
-		}
-		if err := ind.ExportAttributes(db.rel, attrs, ind.ExportConfig{Dir: workDir, Workers: workers}); err != nil {
+		if err := ind.ExportAttributes(db.rel, attrs, ind.ExportConfig{Dir: workDir, Workers: exportWorkers(opts)}); err != nil {
 			return nil, err
 		}
 	}
@@ -380,14 +384,29 @@ func FindINDs(db *Database, opts Options) (*Result, error) {
 			DepBlock: opts.DepBlock, RefBlock: opts.RefBlock, Counter: &counter,
 		})
 	case SpiderMerge:
+		if opts.Shards > 1 {
+			smOpts := ind.ShardedMergeOptions{
+				Counter: &counter, Shards: opts.Shards, Workers: opts.MergeWorkers,
+			}
+			if opts.Streaming {
+				// Sharded streaming freezes each attribute's sorter into
+				// shareable runs that every shard replays over its own range.
+				src, serr := ind.StreamAttributesShared(db.rel, attrs, ind.ExportConfig{
+					Sort: extsort.Config{TempDir: opts.WorkDir}, Workers: exportWorkers(opts),
+				}, &counter)
+				if serr != nil {
+					return nil, serr
+				}
+				defer src.Close()
+				smOpts.Source = src
+			}
+			res, err = ind.ShardedSpiderMerge(cands, smOpts)
+			break
+		}
 		smOpts := ind.SpiderMergeOptions{Counter: &counter}
 		if opts.Streaming {
-			workers := opts.ExportWorkers
-			if workers == 0 {
-				workers = runtime.GOMAXPROCS(0)
-			}
 			src, serr := ind.StreamAttributes(db.rel, attrs, ind.ExportConfig{
-				Sort: extsort.Config{TempDir: opts.WorkDir}, Workers: workers,
+				Sort: extsort.Config{TempDir: opts.WorkDir}, Workers: exportWorkers(opts),
 			}, &counter)
 			if serr != nil {
 				return nil, serr
@@ -432,6 +451,14 @@ func FindINDs(db *Database, opts Options) (*Result, error) {
 	return convertResult(res), nil
 }
 
+// exportWorkers resolves Options.ExportWorkers to a pool size.
+func exportWorkers(opts Options) int {
+	if opts.ExportWorkers == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return opts.ExportWorkers
+}
+
 func needsFiles(a Algorithm) bool {
 	switch a {
 	case BruteForce, BruteForceParallel, SinglePass, SinglePassBlocked, SpiderMerge:
@@ -441,16 +468,21 @@ func needsFiles(a Algorithm) bool {
 	}
 }
 
+// convertStats maps the internal stats onto the public ones.
+func convertStats(st ind.Stats) Stats {
+	return Stats{
+		Candidates:   st.Candidates,
+		Satisfied:    st.Satisfied,
+		ItemsRead:    st.ItemsRead,
+		Comparisons:  st.Comparisons,
+		MaxOpenFiles: st.MaxOpenFiles,
+		Events:       st.Events,
+		Duration:     st.Duration,
+	}
+}
+
 func convertResult(res *ind.Result) *Result {
-	out := &Result{Stats: Stats{
-		Candidates:   res.Stats.Candidates,
-		Satisfied:    res.Stats.Satisfied,
-		ItemsRead:    res.Stats.ItemsRead,
-		Comparisons:  res.Stats.Comparisons,
-		MaxOpenFiles: res.Stats.MaxOpenFiles,
-		Events:       res.Stats.Events,
-		Duration:     res.Stats.Duration,
-	}}
+	out := &Result{Stats: convertStats(res.Stats)}
 	for _, d := range res.Satisfied {
 		out.INDs = append(out.INDs, IND{
 			Dep: ColumnRef{Table: d.Dep.Table, Column: d.Dep.Column},
