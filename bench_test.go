@@ -579,6 +579,71 @@ func BenchmarkAblation_PartialINDs(b *testing.B) {
 	}
 }
 
+// --- Partial INDs: one-pass merge vs per-candidate rescans --------------
+
+// partialBenchCands generates the σ-aware candidate set on the UniProt
+// dataset at scale 0.25 — the acceptance comparison for the partial
+// engine.
+func partialBenchCands(b *testing.B) (*experiments.Dataset, []ind.Candidate) {
+	b.Helper()
+	cfg := benchCfg()
+	cfg.UniProtScale = 0.25
+	ds := benchDatasetScaled(b, "uniprot-0.25", "uniprot", cfg)
+	cands, _ := ind.GenerateCandidates(ds.Attrs, ind.GenOptions{PartialThreshold: 0.9})
+	return ds, cands
+}
+
+// BenchmarkBruteForcePartial is the baseline: both value files reopened
+// and rescanned for every candidate (quadratic I/O in the candidates
+// sharing an attribute).
+func BenchmarkBruteForcePartial(b *testing.B) {
+	_, cands := partialBenchCands(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var counter valfile.ReadCounter
+		res, err := ind.BruteForcePartial(cands, ind.PartialOptions{Threshold: 0.9, Counter: &counter})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(float64(counter.Total()), "items/op")
+			b.ReportMetric(float64(res.Stats.Satisfied), "INDs")
+		}
+	}
+}
+
+// BenchmarkPartialSpiderMerge tests every candidate in one pass; the
+// acceptance bar is ≥3x fewer items read than BenchmarkBruteForcePartial,
+// with identical results at every shard count.
+func BenchmarkPartialSpiderMerge(b *testing.B) {
+	_, cands := partialBenchCands(b)
+	base, err := ind.BruteForcePartial(cands, ind.PartialOptions{Threshold: 0.9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var counter valfile.ReadCounter
+				res, err := ind.ShardedPartialSpiderMerge(cands, ind.ShardedPartialMergeOptions{
+					Threshold: 0.9, Counter: &counter, Shards: shards,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Stats.Satisfied != base.Stats.Satisfied {
+					b.Fatalf("partial merge (S=%d) changed results: %d vs %d",
+						shards, res.Stats.Satisfied, base.Stats.Satisfied)
+				}
+				if i == b.N-1 {
+					b.ReportMetric(float64(counter.Total()), "items/op")
+					b.ReportMetric(float64(res.Stats.Satisfied), "INDs")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkBaselines compares this paper's algorithms with the Sec 6
 // related-work comparators on the UniProt-shaped dataset: De Marchi's
 // inverted-index approach pays its "huge preprocessing requirement"

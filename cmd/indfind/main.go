@@ -37,6 +37,7 @@ func main() {
 	mergeWorkers := flag.Int("mergeworkers", 0, "shard worker pool size (0 = min(shards, GOMAXPROCS))")
 	partial := flag.Float64("partial", 0, "discover partial INDs at this threshold σ in (0, 1] instead of exact INDs")
 	nary := flag.Int("nary", 0, "also discover n-ary INDs up to this arity (0 = off)")
+	workDir := flag.String("workdir", "", "directory for sorted value files (temporary when empty)")
 	flag.Parse()
 
 	db, err := openDatabase(*csvDir, *data, *scale, *seed)
@@ -45,8 +46,22 @@ func main() {
 		os.Exit(1)
 	}
 
+	algorithm, err := parseAlgorithm(*algo)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "indfind: %v\n", err)
+		os.Exit(1)
+	}
+
 	if *partial > 0 {
-		partials, stats, err := spider.FindPartialINDs(db, spider.PartialOptions{Threshold: *partial})
+		partials, stats, err := spider.FindPartialINDs(db, spider.PartialOptions{
+			Threshold:     *partial,
+			WorkDir:       *workDir,
+			Algorithm:     algorithm,
+			Streaming:     *streaming,
+			Shards:        *shards,
+			MergeWorkers:  *mergeWorkers,
+			ExportWorkers: *exportWorkers,
+		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "indfind: %v\n", err)
 			os.Exit(1)
@@ -54,18 +69,17 @@ func main() {
 		for _, p := range partials {
 			fmt.Println(p)
 		}
-		printStats(stats, fmt.Sprintf("partial σ=%g", *partial))
+		name := fmt.Sprintf("partial σ=%g %s", *partial, algorithm)
+		if *shards > 1 {
+			name = fmt.Sprintf("%s x%d shards", name, *shards)
+		}
+		printStats(stats, name)
 		return
-	}
-
-	algorithm, err := parseAlgorithm(*algo)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "indfind: %v\n", err)
-		os.Exit(1)
 	}
 
 	res, err := spider.FindINDs(db, spider.Options{
 		Algorithm:       algorithm,
+		WorkDir:         *workDir,
 		MaxValuePretest: *pretest,
 		Transitivity:    *transitivity,
 		DepBlock:        *depBlock,
@@ -90,7 +104,7 @@ func main() {
 	printStats(res.Stats, name)
 
 	if *nary >= 2 {
-		naryINDs, err := spider.FindNaryINDs(db, spider.NaryOptions{MaxArity: *nary})
+		naryINDs, naryStats, err := spider.FindNaryINDs(db, spider.NaryOptions{MaxArity: *nary, WorkDir: *workDir})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "indfind: n-ary: %v\n", err)
 			os.Exit(1)
@@ -99,6 +113,7 @@ func main() {
 		for _, d := range naryINDs {
 			fmt.Printf("  %s\n", d)
 		}
+		printStats(naryStats, fmt.Sprintf("n-ary ≤%d", *nary))
 	}
 }
 

@@ -3,7 +3,9 @@ package spider
 import (
 	"fmt"
 	"os"
+	"runtime"
 
+	"spider/internal/extsort"
 	"spider/internal/ind"
 	"spider/internal/valfile"
 )
@@ -35,17 +37,51 @@ type PartialOptions struct {
 	Threshold float64
 	// WorkDir receives sorted value files; temporary when empty.
 	WorkDir string
+	// Algorithm selects the verification engine: BruteForce (the
+	// default, the paper-style per-candidate scans) or SpiderMerge (one
+	// pass over all attributes via the count-carrying k-way heap merge).
+	// Both return identical results.
+	Algorithm Algorithm
+	// Streaming (SpiderMerge only) streams sorted values directly from
+	// external-sort spill runs instead of materializing value files.
+	Streaming bool
+	// Shards (SpiderMerge only) partitions the canonical value space into
+	// that many disjoint ranges merged concurrently; 0 or 1 keeps the
+	// single-threaded merge. The output is identical at any shard count.
+	Shards int
+	// MergeWorkers bounds the shard worker pool; 0 selects
+	// min(Shards, GOMAXPROCS).
+	MergeWorkers int
+	// ExportWorkers bounds the attribute-export worker pool; 0 selects
+	// GOMAXPROCS, 1 exports sequentially.
+	ExportWorkers int
 	// MaxValuePretest is NOT applied: a dependent maximum above the
 	// referenced maximum refutes only the exact IND, not a partial one.
 	// SamplingPretest is likewise unsound for partial INDs and skipped.
+	// The cardinality pretest runs in its σ-aware form (a dependent with
+	// more distinct values than the referenced side can still reach
+	// σ-coverage, so only ⌈σ·|s(a)|⌉ > |s(b)| prunes).
 }
 
 // FindPartialINDs discovers partial inclusion dependencies: the Sec 7
 // extension for dirty data, where a foreign key may hold for most but not
 // all values.
 func FindPartialINDs(db *Database, opts PartialOptions) ([]PartialIND, Stats, error) {
+	if opts.Threshold <= 0 || opts.Threshold > 1 {
+		return nil, Stats{}, fmt.Errorf("spider: partial threshold must be in (0, 1], got %v", opts.Threshold)
+	}
+	switch opts.Algorithm {
+	case BruteForce, SpiderMerge:
+	default:
+		return nil, Stats{}, fmt.Errorf("spider: partial IND discovery supports BruteForce or SpiderMerge, not %v", opts.Algorithm)
+	}
+	if opts.Algorithm != SpiderMerge && (opts.Streaming || opts.Shards > 1) {
+		return nil, Stats{}, fmt.Errorf("spider: Streaming and Shards require Algorithm SpiderMerge")
+	}
+
+	exportFiles := !opts.Streaming
 	workDir := opts.WorkDir
-	if workDir == "" {
+	if exportFiles && workDir == "" {
 		tmp, err := os.MkdirTemp("", "spider-partial-*")
 		if err != nil {
 			return nil, Stats{}, err
@@ -53,13 +89,52 @@ func FindPartialINDs(db *Database, opts PartialOptions) ([]PartialIND, Stats, er
 		defer os.RemoveAll(tmp)
 		workDir = tmp
 	}
-	attrs, err := ind.Prepare(db.rel, ind.ExportConfig{Dir: workDir})
+	attrs, err := ind.CollectAttributes(db.rel)
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	cands, _ := ind.GenerateCandidates(attrs, ind.GenOptions{})
+	if exportFiles {
+		if err := ind.ExportAttributes(db.rel, attrs, ind.ExportConfig{Dir: workDir, Workers: workerPool(opts.ExportWorkers)}); err != nil {
+			return nil, Stats{}, err
+		}
+	}
+	cands, _ := ind.GenerateCandidates(attrs, ind.GenOptions{PartialThreshold: opts.Threshold})
+
 	var counter valfile.ReadCounter
-	res, err := ind.BruteForcePartial(cands, ind.PartialOptions{Threshold: opts.Threshold, Counter: &counter})
+	var res *ind.PartialResult
+	switch {
+	case opts.Algorithm == BruteForce:
+		res, err = ind.BruteForcePartial(cands, ind.PartialOptions{Threshold: opts.Threshold, Counter: &counter})
+	case opts.Shards > 1:
+		smOpts := ind.ShardedPartialMergeOptions{
+			Threshold: opts.Threshold, Counter: &counter,
+			Shards: opts.Shards, Workers: opts.MergeWorkers,
+		}
+		if opts.Streaming {
+			src, serr := ind.StreamAttributesShared(db.rel, attrs, ind.ExportConfig{
+				Sort: extsort.Config{TempDir: opts.WorkDir}, Workers: workerPool(opts.ExportWorkers),
+			}, &counter)
+			if serr != nil {
+				return nil, Stats{}, serr
+			}
+			defer src.Close()
+			smOpts.Source = src
+		}
+		res, err = ind.ShardedPartialSpiderMerge(cands, smOpts)
+	default:
+		smOpts := ind.PartialMergeOptions{Threshold: opts.Threshold, Counter: &counter}
+		if opts.Streaming {
+			src, serr := ind.StreamAttributes(db.rel, attrs, ind.ExportConfig{
+				Sort: extsort.Config{TempDir: opts.WorkDir}, Workers: workerPool(opts.ExportWorkers),
+			}, &counter)
+			if serr != nil {
+				return nil, Stats{}, serr
+			}
+			defer src.Close()
+			smOpts.Source = src
+		}
+		res, err = ind.PartialSpiderMerge(cands, smOpts)
+	}
 	if err != nil {
 		return nil, Stats{}, err
 	}
@@ -73,6 +148,14 @@ func FindPartialINDs(db *Database, opts PartialOptions) ([]PartialIND, Stats, er
 		})
 	}
 	return out, convertStats(res.Stats), nil
+}
+
+// workerPool resolves a worker-count option to a pool size.
+func workerPool(n int) int {
+	if n == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
 }
 
 // EmbeddedIND is an inclusion between transformed dependent values and a
@@ -113,17 +196,24 @@ func (n NaryIND) String() string {
 type NaryOptions struct {
 	// MaxArity bounds the levelwise search (default 4).
 	MaxArity int
+	// WorkDir receives the unary seed level's sorted value files; when
+	// set, the arity-1 inclusions are verified by the one-pass SpiderMerge
+	// engine over exported files instead of in-memory tuple sets (same
+	// results, bounded memory). Empty keeps the in-memory seed.
+	WorkDir string
 }
 
 // FindNaryINDs performs levelwise n-ary IND discovery (the multivalued
 // INDs of the paper's Sec 6 discussion, following De Marchi et al.'s
 // MIND): candidates of arity k are generated from satisfied INDs of
 // arity k-1 and verified against distinct tuple sets. Only INDs of arity
-// ≥ 2 are returned; use FindINDs for the unary level.
-func FindNaryINDs(db *Database, opts NaryOptions) ([]NaryIND, error) {
-	res, err := ind.DiscoverNary(db.rel, ind.NaryOptions{MaxArity: opts.MaxArity})
+// ≥ 2 are returned; use FindINDs for the unary level. Stats reports the
+// candidates tested across all arities and the satisfied INDs of arity
+// ≥ 2; Comparisons counts tuple-set probes.
+func FindNaryINDs(db *Database, opts NaryOptions) ([]NaryIND, Stats, error) {
+	res, err := ind.DiscoverNary(db.rel, ind.NaryOptions{MaxArity: opts.MaxArity, WorkDir: opts.WorkDir})
 	if err != nil {
-		return nil, err
+		return nil, Stats{}, err
 	}
 	var out []NaryIND
 	for _, d := range res.Satisfied {
@@ -134,7 +224,16 @@ func FindNaryINDs(db *Database, opts NaryOptions) ([]NaryIND, error) {
 		}
 		out = append(out, n)
 	}
-	return out, nil
+	st := Stats{
+		Satisfied:   len(out),
+		ItemsRead:   res.Stats.ItemsRead,
+		Comparisons: res.Stats.TuplesCompared,
+		Duration:    res.Stats.Duration,
+	}
+	for _, n := range res.Stats.CandidatesByArity {
+		st.Candidates += n
+	}
+	return out, st, nil
 }
 
 // FindEmbeddedINDs discovers inclusions of embedded values (the paper's

@@ -2,6 +2,7 @@ package spider
 
 import (
 	"fmt"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -76,6 +77,86 @@ func TestFindPartialINDsBadThreshold(t *testing.T) {
 	}
 }
 
+// The partial path must route through every engine configuration with
+// identical results: brute force, the one-pass merge, sharded, and the
+// streaming pipeline.
+func TestFindPartialINDsEngineAgreement(t *testing.T) {
+	db := dirtyDatabase(t)
+	want, _, err := FindPartialINDs(db, PartialOptions{Threshold: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("baseline found nothing")
+	}
+	for name, opts := range map[string]PartialOptions{
+		"spider-merge":         {Threshold: 0.9, Algorithm: SpiderMerge},
+		"sharded":              {Threshold: 0.9, Algorithm: SpiderMerge, Shards: 4},
+		"streaming":            {Threshold: 0.9, Algorithm: SpiderMerge, Streaming: true},
+		"sharded streaming":    {Threshold: 0.9, Algorithm: SpiderMerge, Shards: 3, Streaming: true, MergeWorkers: 2},
+		"sequential exporters": {Threshold: 0.9, Algorithm: SpiderMerge, ExportWorkers: 1},
+	} {
+		got, stats, err := FindPartialINDs(db, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s disagrees with brute force:\ngot  %v\nwant %v", name, got, want)
+		}
+		if stats.ItemsRead == 0 {
+			t.Errorf("%s: ItemsRead not counted", name)
+		}
+	}
+	// Streaming and sharding require the merge engine.
+	if _, _, err := FindPartialINDs(db, PartialOptions{Threshold: 0.9, Streaming: true}); err == nil {
+		t.Error("Streaming without SpiderMerge must fail")
+	}
+	if _, _, err := FindPartialINDs(db, PartialOptions{Threshold: 0.9, Shards: 2}); err == nil {
+		t.Error("Shards without SpiderMerge must fail")
+	}
+	if _, _, err := FindPartialINDs(db, PartialOptions{Threshold: 0.9, Algorithm: SinglePass}); err == nil {
+		t.Error("unsupported algorithm must fail")
+	}
+}
+
+// Regression for the unsound pruning: a dependent with more distinct
+// values than the referenced side was dropped by the exact-IND
+// cardinality pretest even though it satisfies σ < 1.
+func TestFindPartialINDsKeepsCardinalityViolations(t *testing.T) {
+	db := NewDatabase("cardinality")
+	var parents, children [][]string
+	for i := 0; i < 95; i++ {
+		parents = append(parents, []string{fmt.Sprintf("%d", i)})
+	}
+	for i := 0; i < 100; i++ { // 95 covered, 5 beyond the parent domain
+		children = append(children, []string{fmt.Sprintf("%d", i)})
+	}
+	if err := db.AddTable("parent", []string{"id"}, parents); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddTable("child", []string{"pid"}, children); err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []Algorithm{BruteForce, SpiderMerge} {
+		partials, _, err := FindPartialINDs(db, PartialOptions{Threshold: 0.9, Algorithm: algo})
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, p := range partials {
+			if p.Dep.String() == "child.pid" && p.Ref.String() == "parent.id" {
+				found = true
+				if p.Coverage != 0.95 || p.Missing != 5 {
+					t.Errorf("%v: partial = %+v", algo, p)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("%v: cardinality-violating partial IND not found: %v", algo, partials)
+		}
+	}
+}
+
 func TestFindEmbeddedINDs(t *testing.T) {
 	db := NewDatabase("embed")
 	var entries, xrefs [][]string
@@ -132,9 +213,12 @@ func TestFindNaryINDs(t *testing.T) {
 	if err := db.AddTable("child", []string{"pid", "pgrp"}, children); err != nil {
 		t.Fatal(err)
 	}
-	nary, err := FindNaryINDs(db, NaryOptions{MaxArity: 2})
+	nary, naryStats, err := FindNaryINDs(db, NaryOptions{MaxArity: 2})
 	if err != nil {
 		t.Fatal(err)
+	}
+	if naryStats.Candidates == 0 || naryStats.Satisfied != len(nary) || naryStats.Comparisons == 0 {
+		t.Errorf("n-ary stats not collected: %+v", naryStats)
 	}
 	// Pairs are reported in canonical dep-column order.
 	want := "(child.pgrp, child.pid) ⊆ (parent.grp, parent.id)"

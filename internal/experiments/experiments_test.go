@@ -77,6 +77,27 @@ func TestTable2Shape(t *testing.T) {
 			t.Errorf("%s: sharded merge disagrees: %d vs %d", ds, sh.Satisfied, sm.Satisfied)
 		}
 	}
+	// The partial rows: the one-pass merge must agree with the brute
+	// force on satisfied INDs and never read more items; partial INDs at
+	// σ=0.9 are a superset of the exact ones.
+	for _, ds := range []string{"uniprot", "scop", "pdb"} {
+		pb, ok := byKey[ds+"/partial σ=0.9 (brute force)"]
+		if !ok {
+			t.Fatalf("%s: missing partial brute-force row", ds)
+		}
+		pm := byKey[ds+"/partial σ=0.9 (partial merge)"]
+		if pb.Satisfied != pm.Satisfied || pb.Candidates != pm.Candidates {
+			t.Errorf("%s: partial merge (%d/%d) disagrees with brute force (%d/%d)",
+				ds, pm.Candidates, pm.Satisfied, pb.Candidates, pb.Satisfied)
+		}
+		if pm.ItemsRead > pb.ItemsRead {
+			t.Errorf("%s: partial merge read %d items, brute force %d", ds, pm.ItemsRead, pb.ItemsRead)
+		}
+		if pb.Satisfied < byKey[ds+"/brute-force"].Satisfied {
+			t.Errorf("%s: σ=0.9 found fewer INDs (%d) than exact discovery (%d)",
+				ds, pb.Satisfied, byKey[ds+"/brute-force"].Satisfied)
+		}
+	}
 }
 
 // Figure 5 shape: single pass reads no more than brute force at every
@@ -175,6 +196,19 @@ func TestAblationsShape(t *testing.T) {
 	for _, s := range r.Sharded[1:] {
 		if s.Satisfied != r.Sharded[0].Satisfied {
 			t.Errorf("S=%d changed results: %d vs %d", s.Shards, s.Satisfied, r.Sharded[0].Satisfied)
+		}
+	}
+	if len(r.PartialSharded) != 3 {
+		t.Fatalf("partial sharded points = %d", len(r.PartialSharded))
+	}
+	for _, s := range r.PartialSharded {
+		if s.Satisfied != r.PartialSharded[0].Satisfied {
+			t.Errorf("partial S=%d changed results: %d vs %d",
+				s.Shards, s.Satisfied, r.PartialSharded[0].Satisfied)
+		}
+		if s.ItemsRead > r.PartialBruteItems {
+			t.Errorf("partial merge (S=%d) read %d items, brute force %d",
+				s.Shards, s.ItemsRead, r.PartialBruteItems)
 		}
 	}
 	smallest, unblocked := r.Blocked[0], r.Blocked[len(r.Blocked)-1]

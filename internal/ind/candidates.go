@@ -38,6 +38,15 @@ type GenOptions struct {
 	// represented as string" — our rule therefore only separates numeric
 	// kinds from each other, never strings from anything.
 	DatatypePruning bool
+	// PartialThreshold, when in (0, 1], generates candidates for partial
+	// IND discovery at that σ: the cardinality pretest relaxes from
+	// d.Distinct > r.Distinct to ⌈σ·d.Distinct⌉ > r.Distinct, since a
+	// dependent with more distinct values than the referenced side can
+	// still reach σ-coverage (100 distinct deps, 95 in ref, σ = 0.9). The
+	// max-value pretest is skipped on this path even if requested: a
+	// dependent maximum above the referenced maximum refutes only the
+	// exact IND, never a partial one. Zero selects exact-IND pretests.
+	PartialThreshold float64
 }
 
 // GenStats reports how many candidates each pretest removed.
@@ -76,14 +85,21 @@ func GenerateCandidates(attrs []*Attribute, opts GenOptions) ([]Candidate, GenSt
 		}
 	}
 	st := GenStats{DependentAttrs: len(deps), ReferencedAttrs: len(refs)}
+	partial := opts.PartialThreshold > 0 && opts.PartialThreshold <= 1
 	var out []Candidate
 	for _, d := range deps {
+		// requiredMatches is the cardinality bound: the referenced side
+		// must hold at least this many of the dependent's distinct values.
+		requiredMatches := d.Distinct
+		if partial {
+			requiredMatches = d.Distinct - missBudget(opts.PartialThreshold, d.Distinct)
+		}
 		for _, r := range refs {
 			if d == r {
 				continue
 			}
 			st.Pairs++
-			if d.Distinct > r.Distinct {
+			if requiredMatches > r.Distinct {
 				st.PrunedCardinality++
 				continue
 			}
@@ -91,7 +107,7 @@ func GenerateCandidates(attrs []*Attribute, opts GenOptions) ([]Candidate, GenSt
 				st.PrunedDatatype++
 				continue
 			}
-			if opts.MaxValuePretest && d.MaxCanonical > r.MaxCanonical {
+			if opts.MaxValuePretest && !partial && d.MaxCanonical > r.MaxCanonical {
 				st.PrunedMaxValue++
 				continue
 			}

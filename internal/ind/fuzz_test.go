@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"path/filepath"
 	"reflect"
+	"sort"
+	"strings"
 	"testing"
 
 	"spider/internal/relstore"
@@ -97,6 +99,180 @@ func TestSinglePassFuzzTopologies(t *testing.T) {
 			t.Fatalf("trial %d: blocked single pass differs", trial)
 		}
 	}
+}
+
+// FuzzAlgorithmOne feeds arbitrary comma-separated value lists through
+// the paper's Algorithm 1 and checks the verdict against a hash-set
+// subset oracle. Run with go test -fuzz=FuzzAlgorithmOne; the seed corpus
+// covers the merge's edge shapes (empty sets, prefixes, early stops).
+func FuzzAlgorithmOne(f *testing.F) {
+	f.Add("a,b,c", "a,b,c,d")
+	f.Add("", "a")
+	f.Add("a,aa,aaa", "a,aa")
+	f.Add("z", "a,b")
+	f.Add("k999998", "k999997,k999998,k999999")
+	f.Fuzz(func(t *testing.T, depRaw, refRaw string) {
+		dep := sortedDistinct(depRaw)
+		ref := sortedDistinct(refRaw)
+		var st Stats
+		got, err := algorithmOne(NewSliceCursor(dep, nil), NewSliceCursor(ref, nil), &st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refSet := make(map[string]bool, len(ref))
+		for _, v := range ref {
+			refSet[v] = true
+		}
+		want := true
+		for _, v := range dep {
+			if !refSet[v] {
+				want = false
+				break
+			}
+		}
+		if got != want {
+			t.Errorf("algorithmOne(%q ⊆ %q) = %v, want %v", dep, ref, got, want)
+		}
+	})
+}
+
+// FuzzPartialMerge derives a small attribute universe plus a threshold
+// from raw bytes and cross-checks the one-pass partial merge — unsharded
+// and sharded — against a naive per-candidate coverage oracle. Run with
+// go test -fuzz=FuzzPartialMerge.
+func FuzzPartialMerge(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 0xff, 4, 5, 6, 7, 8, 9, 10, 11}, byte(90))
+	f.Add([]byte{0, 0, 0, 0xff, 0xff, 1}, byte(50))
+	f.Add([]byte{7}, byte(100))
+	f.Fuzz(func(t *testing.T, data []byte, sigmaRaw byte) {
+		sigma := float64(1+int(sigmaRaw)%100) / 100
+		attrs, sets := attrsFromBytes(data)
+		if len(attrs) < 2 {
+			t.Skip("not enough attributes")
+		}
+		var cands []Candidate
+		for _, d := range attrs {
+			for _, r := range attrs {
+				if d != r {
+					cands = append(cands, Candidate{Dep: d, Ref: r})
+				}
+			}
+		}
+		src := MemorySource{Sets: sets}
+		got, err := PartialSpiderMerge(cands, PartialMergeOptions{Threshold: sigma, Source: src})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharded, err := ShardedPartialSpiderMerge(cands, ShardedPartialMergeOptions{
+			Threshold: sigma, Source: src, Shards: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var want []PartialMatch
+		for _, c := range cands {
+			depVals, refVals := sets[c.Dep.ID], sets[c.Ref.ID]
+			refSet := make(map[string]bool, len(refVals))
+			for _, v := range refVals {
+				refSet[v] = true
+			}
+			matched := 0
+			for _, v := range depVals {
+				if refSet[v] {
+					matched++
+				}
+			}
+			ind := IND{Dep: c.Dep.Ref, Ref: c.Ref.Ref}
+			if len(depVals) == 0 {
+				want = append(want, PartialMatch{IND: ind, Coverage: 1})
+				continue
+			}
+			coverage := float64(matched) / float64(len(depVals))
+			if coverage+1e-12 >= sigma {
+				want = append(want, PartialMatch{IND: ind, Coverage: coverage, Missing: len(depVals) - matched})
+			}
+		}
+		sortPartialMatches(want)
+		if !reflect.DeepEqual(got.Satisfied, want) {
+			t.Errorf("σ=%g: merge = %+v, want %+v", sigma, got.Satisfied, want)
+		}
+		if !reflect.DeepEqual(sharded.Satisfied, want) {
+			t.Errorf("σ=%g: sharded merge = %+v, want %+v", sigma, sharded.Satisfied, want)
+		}
+	})
+}
+
+// sortedDistinct splits a comma-separated list into a sorted duplicate-
+// free value set.
+func sortedDistinct(raw string) []string {
+	if raw == "" {
+		return nil
+	}
+	parts := strings.Split(raw, ",")
+	sortStrings(parts)
+	out := parts[:0]
+	for i, v := range parts {
+		if i == 0 || v != parts[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// attrsFromBytes builds up to four attributes from raw bytes: 0xff
+// starts a new attribute, every other byte contributes one value from a
+// 16-value alphabet (so inclusions actually occur).
+func attrsFromBytes(data []byte) ([]*Attribute, map[int][]string) {
+	raw := [][]string{nil}
+	for _, b := range data {
+		if b == 0xff {
+			if len(raw) == 4 {
+				break
+			}
+			raw = append(raw, nil)
+			continue
+		}
+		raw[len(raw)-1] = append(raw[len(raw)-1], fmt.Sprintf("v%02d", b%16))
+	}
+	var attrs []*Attribute
+	sets := make(map[int][]string, len(raw))
+	for i, vals := range raw {
+		set := map[string]bool{}
+		var sorted []string
+		for _, v := range vals {
+			if !set[v] {
+				set[v] = true
+				sorted = append(sorted, v)
+			}
+		}
+		sortStrings(sorted)
+		a := &Attribute{
+			ID:       i,
+			Ref:      relstore.ColumnRef{Table: "t", Column: fmt.Sprintf("c%02d", i)},
+			Rows:     len(vals),
+			NonNull:  len(vals),
+			Distinct: len(sorted),
+			Unique:   len(vals) == len(sorted),
+		}
+		if len(sorted) > 0 {
+			a.MinCanonical = sorted[0]
+			a.MaxCanonical = sorted[len(sorted)-1]
+		}
+		attrs = append(attrs, a)
+		sets[i] = sorted
+	}
+	return attrs, sets
+}
+
+// sortPartialMatches orders matches the way the engines emit them.
+func sortPartialMatches(ms []PartialMatch) {
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].Dep != ms[j].Dep {
+			return ms[i].Dep.String() < ms[j].Dep.String()
+		}
+		return ms[i].Ref.String() < ms[j].Ref.String()
+	})
 }
 
 // Adversarial value distributions for the merge logic: long shared

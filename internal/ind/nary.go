@@ -2,11 +2,13 @@ package ind
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
 
 	"spider/internal/relstore"
+	"spider/internal/valfile"
 )
 
 // The paper closes its related-work discussion with: "We believe that our
@@ -49,6 +51,12 @@ type NaryOptions struct {
 	MaxArity int
 	// MaxCandidatesPerLevel aborts pathological schemas (default 100000).
 	MaxCandidatesPerLevel int
+	// WorkDir, when set, receives one sorted value file per eligible
+	// column and the unary seed level is verified by the one-pass
+	// SpiderMerge engine over those files instead of in-memory tuple
+	// sets — same satisfied set, bounded memory. The caller owns the
+	// directory.
+	WorkDir string
 }
 
 // NaryStats reports the levelwise search effort.
@@ -59,7 +67,10 @@ type NaryStats struct {
 	SatisfiedByArity  []int
 	// TuplesCompared counts tuple-set probes.
 	TuplesCompared int64
-	Duration       time.Duration
+	// ItemsRead counts values read from sorted files (file-backed unary
+	// seed only; the in-memory seed reads no files).
+	ItemsRead int64
+	Duration  time.Duration
 }
 
 // NaryResult is the outcome of DiscoverNary: all satisfied INDs of arity
@@ -125,31 +136,9 @@ func DiscoverNary(db *relstore.Database, opts NaryOptions) (*NaryResult, error) 
 		}
 	}
 	satisfiedKeys := make(map[string]bool)
-	var current []naryCand
-	for _, d := range eligible {
-		for _, r := range eligible {
-			if d.Ref == r.Ref {
-				continue
-			}
-			res.Stats.CandidatesByArity[1]++
-			if d.Distinct > r.Distinct {
-				continue
-			}
-			c := naryCand{
-				depTable: d.Ref.Table, refTable: r.Ref.Table,
-				pairs: []pairKey{{dep: d.Ref, ref: r.Ref}},
-			}
-			ok, err := verifier.holds(c)
-			if err != nil {
-				return nil, err
-			}
-			if !ok {
-				continue
-			}
-			res.Stats.SatisfiedByArity[1]++
-			satisfiedKeys[c.key()] = true
-			current = append(current, c)
-		}
+	current, err := unarySeed(db, eligible, opts, verifier, res, satisfiedKeys)
+	if err != nil {
+		return nil, err
 	}
 	sort.Slice(current, func(i, j int) bool { return current[i].key() < current[j].key() })
 
@@ -180,6 +169,78 @@ func DiscoverNary(db *relstore.Database, opts NaryOptions) (*NaryResult, error) 
 	}
 	res.Stats.Duration = time.Since(start)
 	return res, nil
+}
+
+// unarySeed computes the satisfied arity-1 inclusions over the eligible
+// columns, recording them into res and satisfiedKeys. With a WorkDir it
+// exports one sorted value file per column and verifies all pairs in one
+// SpiderMerge pass; otherwise each pair probes the in-memory tuple sets.
+func unarySeed(db *relstore.Database, eligible []*Attribute, opts NaryOptions, verifier *tupleVerifier, res *NaryResult, satisfiedKeys map[string]bool) ([]naryCand, error) {
+	record := func(dep, ref relstore.ColumnRef) naryCand {
+		c := naryCand{
+			depTable: dep.Table, refTable: ref.Table,
+			pairs: []pairKey{{dep: dep, ref: ref}},
+		}
+		res.Stats.SatisfiedByArity[1]++
+		satisfiedKeys[c.key()] = true
+		return c
+	}
+
+	if opts.WorkDir != "" {
+		if err := ExportAttributes(db, eligible, ExportConfig{Dir: opts.WorkDir, Workers: runtime.GOMAXPROCS(0)}); err != nil {
+			return nil, err
+		}
+		var cands []Candidate
+		for _, d := range eligible {
+			for _, r := range eligible {
+				if d.Ref == r.Ref {
+					continue
+				}
+				res.Stats.CandidatesByArity[1]++
+				if d.Distinct > r.Distinct {
+					continue
+				}
+				cands = append(cands, Candidate{Dep: d, Ref: r})
+			}
+		}
+		var counter valfile.ReadCounter
+		merged, err := SpiderMerge(cands, SpiderMergeOptions{Counter: &counter})
+		if err != nil {
+			return nil, err
+		}
+		res.Stats.ItemsRead = counter.Total()
+		var current []naryCand
+		for _, d := range merged.Satisfied {
+			current = append(current, record(d.Dep, d.Ref))
+		}
+		return current, nil
+	}
+
+	var current []naryCand
+	for _, d := range eligible {
+		for _, r := range eligible {
+			if d.Ref == r.Ref {
+				continue
+			}
+			res.Stats.CandidatesByArity[1]++
+			if d.Distinct > r.Distinct {
+				continue
+			}
+			c := naryCand{
+				depTable: d.Ref.Table, refTable: r.Ref.Table,
+				pairs: []pairKey{{dep: d.Ref, ref: r.Ref}},
+			}
+			ok, err := verifier.holds(c)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+			current = append(current, record(c.pairs[0].dep, c.pairs[0].ref))
+		}
+	}
+	return current, nil
 }
 
 func pairDeps(pairs []pairKey) []relstore.ColumnRef {

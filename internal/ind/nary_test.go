@@ -3,6 +3,7 @@ package ind
 import (
 	"fmt"
 	"math/rand"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -83,6 +84,37 @@ func TestDiscoverNaryFindsPlantedBinary(t *testing.T) {
 	}
 	if res.Stats.CandidatesByArity[2] == 0 || res.Stats.TuplesCompared == 0 {
 		t.Errorf("stats empty: %+v", res.Stats)
+	}
+}
+
+// The file-backed unary seed (NaryOptions.WorkDir) must agree exactly
+// with the in-memory tuple-set seed: same satisfied INDs, same per-level
+// counts, and the file path must account its I/O.
+func TestDiscoverNaryWorkDirMatchesInMemory(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		db := randomDB(seed)
+		mem, err := DiscoverNary(db, NaryOptions{MaxArity: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		file, err := DiscoverNary(db, NaryOptions{MaxArity: 3, WorkDir: t.TempDir()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(file.Satisfied, mem.Satisfied) {
+			t.Errorf("seed %d: file-backed seed changed results:\ngot  %v\nwant %v",
+				seed, naryStrings(file.Satisfied), naryStrings(mem.Satisfied))
+		}
+		if !reflect.DeepEqual(file.Stats.SatisfiedByArity, mem.Stats.SatisfiedByArity) ||
+			!reflect.DeepEqual(file.Stats.CandidatesByArity, mem.Stats.CandidatesByArity) {
+			t.Errorf("seed %d: level counts differ: %+v vs %+v", seed, file.Stats, mem.Stats)
+		}
+		if file.Stats.ItemsRead == 0 {
+			t.Errorf("seed %d: file-backed seed read no items", seed)
+		}
+		if mem.Stats.ItemsRead != 0 {
+			t.Errorf("seed %d: in-memory seed claims file I/O: %d", seed, mem.Stats.ItemsRead)
+		}
 	}
 }
 

@@ -110,11 +110,7 @@ func partialTest(c Candidate, opts PartialOptions, st *Stats) (matched, missing 
 	defer ref.Close()
 	st.FilesOpened += 2
 
-	// The miss budget: one more miss than this refutes the candidate.
-	// Computed via the required match count so that σ·n lands exactly on
-	// integers (float64(n)*(1-σ) would round 10.0 down to 9 for σ=0.9).
-	required := int(math.Ceil(opts.Threshold*float64(c.Dep.Distinct) - 1e-9))
-	budget := c.Dep.Distinct - required
+	budget := missBudget(opts.Threshold, c.Dep.Distinct)
 
 	curRef, refOK := "", false
 	refDone := false
@@ -165,6 +161,16 @@ func partialTest(c Candidate, opts PartialOptions, st *Stats) (matched, missing 
 			return matched, missing, nil
 		}
 	}
+}
+
+// missBudget is the number of misses a dependent set of n distinct values
+// can absorb while still reaching threshold σ: one more miss than this
+// refutes the candidate. Computed via the required match count so that
+// σ·n lands exactly on integers (float64(n)*(1-σ) would round 10.0 down
+// to 9 for σ=0.9).
+func missBudget(threshold float64, n int) int {
+	required := int(math.Ceil(threshold*float64(n) - 1e-9))
+	return n - required
 }
 
 // remainingCount drains a reader, returning the number of values left.

@@ -1,0 +1,427 @@
+package ind
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"time"
+
+	"spider/internal/valfile"
+)
+
+// This file extends the k-way heap merge to partial INDs (the paper's
+// Sec 7 dirty-data extension): instead of a boolean verdict, every
+// candidate accumulates matched/missing counts while all attribute
+// cursors stream through one shared merge front. One pass over all
+// attributes tests every candidate at any threshold σ; at σ = 1 the
+// count bookkeeping degenerates to the exact engine's behaviour (the
+// first miss exhausts the budget). BruteForcePartial reopens both value
+// files for every candidate — quadratic I/O in the number of candidates
+// sharing attributes — while PartialSpiderMerge reads each value set at
+// most once.
+
+// PartialMergeOptions tunes PartialSpiderMerge.
+type PartialMergeOptions struct {
+	// Threshold is σ: the minimum fraction of distinct dependent values
+	// that must occur in the referenced attribute. Values outside (0, 1]
+	// are rejected.
+	Threshold float64
+	// Counter receives every item read; nil disables external counting.
+	Counter *valfile.ReadCounter
+	// Source provides each attribute's value cursor; nil selects the
+	// sorted value files written by ExportAttributes, counted by Counter.
+	// Each attribute is opened exactly once, so single-shot sources
+	// (SorterSource) work here.
+	Source CursorSource
+}
+
+// ShardedPartialMergeOptions tunes ShardedPartialSpiderMerge.
+type ShardedPartialMergeOptions struct {
+	// Threshold is σ in (0, 1].
+	Threshold float64
+	// Counter receives every item read; nil disables external counting.
+	Counter *valfile.ReadCounter
+	// Source provides range-restricted cursors; nil selects the sorted
+	// value files written by ExportAttributes, counted by Counter.
+	Source RangeSource
+	// Shards is S, the number of disjoint value ranges merged
+	// independently. Zero or one selects a single unsharded merge.
+	Shards int
+	// Workers bounds the shard worker pool; zero selects
+	// min(Shards, GOMAXPROCS).
+	Workers int
+	// Boundaries overrides the sampled shard boundaries, exactly as in
+	// ShardedMergeOptions.
+	Boundaries []string
+}
+
+// PartialSpiderMerge tests every candidate for partial inclusion at the
+// given threshold in one pass over all attribute cursors, using the same
+// k-way min-heap merge as SpiderMerge. For every value at the merge
+// front, each dependent attribute in the merge group scores each of its
+// undecided candidates: matched if the referenced attribute's stream
+// also contains the value, missing otherwise. A candidate is dropped
+// (refuted) as soon as its misses exceed the budget
+// |s(a)| − ⌈σ·|s(a)|⌉; the survivors' final counts yield coverages
+// identical to BruteForcePartial's.
+func PartialSpiderMerge(cands []Candidate, opts PartialMergeOptions) (*PartialResult, error) {
+	if err := checkPartialThreshold(opts.Threshold); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	pm := newPartialMerge(sourceOrFiles(opts.Source, opts.Counter), opts.Threshold)
+	defer pm.closeAll()
+	if err := pm.run(cands); err != nil {
+		return nil, err
+	}
+	res := &PartialResult{Stats: pm.stats}
+	for key, st := range pm.counts {
+		if m, ok := partialVerdict(st, opts.Threshold, pm.attrs[key[0]], pm.attrs[key[1]]); ok {
+			res.Satisfied = append(res.Satisfied, m)
+		}
+	}
+	finishPartialResult(res, len(cands), opts.Counter, start)
+	return res, nil
+}
+
+// ShardedPartialSpiderMerge partitions the canonical value space into S
+// disjoint ranges and runs one independent partial heap merge per range
+// on a bounded worker pool. Matched/missing counts are additive over
+// disjoint value ranges — a dependent value can only find its match
+// inside its own shard — so the per-shard counts sum at the join barrier
+// into exactly the counts a single merge would have produced: the output
+// is identical to BruteForcePartial at any shard count. A shard that
+// exhausts a candidate's miss budget refutes it globally (its misses
+// alone already exceed the budget).
+func ShardedPartialSpiderMerge(cands []Candidate, opts ShardedPartialMergeOptions) (*PartialResult, error) {
+	if err := checkPartialThreshold(opts.Threshold); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	src := rangeSourceOrFiles(opts.Source, opts.Counter)
+	ranges, err := resolveShardRanges(cands, src, opts.Shards, opts.Boundaries)
+	if err != nil {
+		return nil, err
+	}
+	uniq := dedupCandidates(cands)
+
+	// One independent partial merge per shard, sharing nothing but the
+	// atomic read counter. Candidates whose dependent attribute provably
+	// has no values inside the shard's range contribute zero counts and
+	// skip the merge entirely.
+	perShard := make([]*partialMerge, len(ranges))
+	err = runShards(len(ranges), opts.Workers, func(i int) error {
+		shardCands := make([]Candidate, 0, len(uniq))
+		for _, c := range uniq {
+			if !attrOutsideRange(c.Dep, ranges[i]) {
+				shardCands = append(shardCands, c)
+			}
+		}
+		pm := newPartialMerge(shardSource{src: src, bounds: ranges[i]}, opts.Threshold)
+		err := pm.run(shardCands)
+		pm.closeAll()
+		if err != nil {
+			return err
+		}
+		perShard[i] = pm
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Join barrier: sum each candidate's per-shard counts; a budget
+	// exhausted in any single shard is exhausted globally.
+	res := &PartialResult{}
+	for _, pm := range perShard {
+		res.Stats.Comparisons += pm.stats.Comparisons
+		res.Stats.FilesOpened += pm.stats.FilesOpened
+		if pm.stats.MaxOpenFiles > res.Stats.MaxOpenFiles {
+			res.Stats.MaxOpenFiles = pm.stats.MaxOpenFiles
+		}
+	}
+	for _, c := range uniq {
+		key := [2]int{c.Dep.ID, c.Ref.ID}
+		total := &partialState{}
+		for _, pm := range perShard {
+			st, ok := pm.counts[key]
+			if !ok {
+				continue // dependent outside this shard's range: 0/0
+			}
+			total.matched += st.matched
+			total.missing += st.missing
+			total.dropped = total.dropped || st.dropped
+		}
+		if m, ok := partialVerdict(total, opts.Threshold, c.Dep, c.Ref); ok {
+			res.Satisfied = append(res.Satisfied, m)
+		}
+	}
+	finishPartialResult(res, len(cands), opts.Counter, start)
+	return res, nil
+}
+
+// checkPartialThreshold rejects thresholds outside (0, 1].
+func checkPartialThreshold(sigma float64) error {
+	if sigma <= 0 || sigma > 1 {
+		return fmt.Errorf("ind: partial threshold must be in (0, 1], got %v", sigma)
+	}
+	return nil
+}
+
+// partialVerdict decides one candidate from its accumulated counts,
+// mirroring BruteForcePartial's checks exactly so the two engines return
+// byte-identical results: an empty dependent set is trivially included,
+// an exhausted miss budget refutes, and survivors satisfy iff their
+// measured coverage reaches the threshold.
+func partialVerdict(st *partialState, sigma float64, dep, ref *Attribute) (PartialMatch, bool) {
+	if st.dropped {
+		return PartialMatch{}, false
+	}
+	ind := IND{Dep: dep.Ref, Ref: ref.Ref}
+	total := st.matched + st.missing
+	if total == 0 {
+		return PartialMatch{IND: ind, Coverage: 1}, true
+	}
+	coverage := float64(st.matched) / float64(total)
+	if coverage+1e-12 >= sigma {
+		return PartialMatch{IND: ind, Coverage: coverage, Missing: st.missing}, true
+	}
+	return PartialMatch{}, false
+}
+
+// finishPartialResult fills the shared result trailer: stats totals and
+// the deterministic (dep, ref) output order BruteForcePartial uses.
+func finishPartialResult(res *PartialResult, candidates int, counter *valfile.ReadCounter, start time.Time) {
+	res.Stats.Candidates = candidates
+	res.Stats.Satisfied = len(res.Satisfied)
+	res.Stats.ItemsRead = counter.Total()
+	res.Stats.Duration = time.Since(start)
+	sort.Slice(res.Satisfied, func(i, j int) bool {
+		if res.Satisfied[i].Dep != res.Satisfied[j].Dep {
+			return res.Satisfied[i].Dep.String() < res.Satisfied[j].Dep.String()
+		}
+		return res.Satisfied[i].Ref.String() < res.Satisfied[j].Ref.String()
+	})
+}
+
+// partialState is one candidate's accumulating verdict: how many of the
+// dependent's distinct values found a counterpart, how many did not, and
+// whether the miss budget is already exhausted (counts freeze there).
+type partialState struct {
+	matched, missing int
+	dropped          bool
+}
+
+// partialMerge is the count-carrying variant of spiderMerge. It shares
+// the heap, the cursor lifecycle and the early-close bookkeeping, but
+// candidates survive misses until their budget runs out, so refs shrink
+// on budget exhaustion rather than on the first miss.
+type partialMerge struct {
+	src     CursorSource
+	sigma   float64
+	cursors map[int]Cursor
+	attrs   map[int]*Attribute
+	// states maps a dependent attribute ID to the undecided candidates'
+	// counts, keyed by referenced attribute ID.
+	states map[int]map[int]*partialState
+	// budget is each dependent's miss allowance at the threshold.
+	budget map[int]int
+	// refCount counts, per attribute, the dependents still tracking it as
+	// a referenced side; it drives early cursor close.
+	refCount map[int]int
+	h        smHeap
+
+	// counts holds every candidate's state, decided or not, for the
+	// caller's verdicts (and the sharded join barrier).
+	counts map[[2]int]*partialState
+	stats  Stats
+	open   int
+}
+
+func newPartialMerge(src CursorSource, sigma float64) *partialMerge {
+	return &partialMerge{
+		src:      src,
+		sigma:    sigma,
+		cursors:  make(map[int]Cursor),
+		attrs:    make(map[int]*Attribute),
+		states:   make(map[int]map[int]*partialState),
+		budget:   make(map[int]int),
+		refCount: make(map[int]int),
+		counts:   make(map[[2]int]*partialState),
+	}
+}
+
+func (pm *partialMerge) run(cands []Candidate) error {
+	for _, c := range cands {
+		pm.attrs[c.Dep.ID] = c.Dep
+		pm.attrs[c.Ref.ID] = c.Ref
+		if _, ok := pm.budget[c.Dep.ID]; !ok {
+			pm.budget[c.Dep.ID] = missBudget(pm.sigma, c.Dep.Distinct)
+		}
+		inner := pm.states[c.Dep.ID]
+		if inner == nil {
+			inner = make(map[int]*partialState)
+			pm.states[c.Dep.ID] = inner
+		}
+		if inner[c.Ref.ID] == nil {
+			st := &partialState{}
+			inner[c.Ref.ID] = st
+			pm.counts[[2]int{c.Dep.ID, c.Ref.ID}] = st
+			pm.refCount[c.Ref.ID]++
+		}
+	}
+
+	// Open one cursor per involved attribute and seed the heap, in ID
+	// order for determinism. An empty dependent settles its candidates
+	// with zero counts (trivially included); an empty referenced stream
+	// simply never joins a merge group, so every dependent value scores a
+	// miss against it.
+	ids := make([]int, 0, len(pm.attrs))
+	for id := range pm.attrs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		cur, err := pm.src.Open(pm.attrs[id])
+		if err != nil {
+			return err
+		}
+		pm.cursors[id] = cur
+		if _, empty := cur.(emptyCursor); !empty {
+			pm.open++
+			pm.stats.FilesOpened++
+			if pm.open > pm.stats.MaxOpenFiles {
+				pm.stats.MaxOpenFiles = pm.open
+			}
+		}
+	}
+	for _, id := range ids {
+		if err := pm.advance(id); err != nil {
+			return err
+		}
+	}
+
+	group := make([]int, 0, len(ids))
+	members := make(map[int]bool, len(ids))
+	for len(pm.h) > 0 {
+		group = group[:0]
+		v := pm.h[0].val
+		for len(pm.h) > 0 && pm.h[0].val == v {
+			e := heap.Pop(&pm.h).(smEntry)
+			if pm.cursors[e.id] == nil {
+				continue
+			}
+			group = append(group, e.id)
+		}
+		if len(group) == 0 {
+			continue
+		}
+		for _, id := range group {
+			members[id] = true
+		}
+		// Score each dependent's undecided candidates against the group:
+		// the merge-front value either occurs in the referenced stream
+		// (matched) or provably does not (missing).
+		for _, d := range group {
+			sts := pm.states[d]
+			if len(sts) == 0 {
+				continue
+			}
+			pm.stats.Comparisons += int64(len(sts))
+			for r, st := range sts {
+				if members[r] {
+					st.matched++
+					continue
+				}
+				st.missing++
+				if st.missing > pm.budget[d] {
+					st.dropped = true
+					pm.drop(d, r)
+				}
+			}
+			if len(sts) == 0 {
+				pm.maybeClose(d)
+			}
+		}
+		for _, id := range group {
+			delete(members, id)
+		}
+		for _, id := range group {
+			if pm.cursors[id] == nil {
+				continue
+			}
+			if err := pm.advance(id); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// advance pushes the attribute's next value, or finishes its stream. A
+// dependent stream's end freezes its surviving candidates' counts — the
+// caller turns them into verdicts.
+func (pm *partialMerge) advance(id int) error {
+	cur := pm.cursors[id]
+	if cur == nil {
+		return nil
+	}
+	if v, ok := cur.Next(); ok {
+		heap.Push(&pm.h, smEntry{val: v, id: id})
+		return nil
+	}
+	if err := cur.Err(); err != nil {
+		return err
+	}
+	if sts := pm.states[id]; len(sts) > 0 {
+		decided := make([]int, 0, len(sts))
+		for r := range sts {
+			decided = append(decided, r)
+		}
+		sort.Ints(decided)
+		for _, r := range decided {
+			pm.drop(id, r)
+		}
+	}
+	pm.closeCursor(id)
+	return nil
+}
+
+// drop retires the candidate d ⊆ r from the undecided set (its counts
+// stay in pm.counts) and closes r's cursor when nothing references it
+// any longer.
+func (pm *partialMerge) drop(d, r int) {
+	sts := pm.states[d]
+	if sts[r] == nil {
+		return
+	}
+	delete(sts, r)
+	pm.refCount[r]--
+	if d != r {
+		pm.maybeClose(r)
+	}
+}
+
+// maybeClose closes the attribute's cursor once it is needed neither as
+// a dependent (undecided candidates) nor as a referenced side.
+func (pm *partialMerge) maybeClose(id int) {
+	if len(pm.states[id]) == 0 && pm.refCount[id] == 0 {
+		pm.closeCursor(id)
+	}
+}
+
+func (pm *partialMerge) closeCursor(id int) {
+	if cur := pm.cursors[id]; cur != nil {
+		cur.Close()
+		pm.cursors[id] = nil
+		if _, empty := cur.(emptyCursor); !empty {
+			pm.open--
+		}
+	}
+}
+
+func (pm *partialMerge) closeAll() {
+	for id := range pm.cursors {
+		pm.closeCursor(id)
+	}
+}

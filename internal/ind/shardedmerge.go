@@ -45,50 +45,11 @@ type ShardedMergeOptions struct {
 func ShardedSpiderMerge(cands []Candidate, opts ShardedMergeOptions) (*Result, error) {
 	start := time.Now()
 	src := rangeSourceOrFiles(opts.Source, opts.Counter)
-
-	shards := opts.Shards
-	if shards < 1 {
-		shards = 1
+	ranges, err := resolveShardRanges(cands, src, opts.Shards, opts.Boundaries)
+	if err != nil {
+		return nil, err
 	}
-	bounds := opts.Boundaries
-	if bounds == nil && shards > 1 {
-		var err error
-		bounds, err = shardBoundaries(cands, src, shards)
-		if err != nil {
-			return nil, err
-		}
-	}
-	for i := 1; i < len(bounds); i++ {
-		if bounds[i] <= bounds[i-1] {
-			return nil, fmt.Errorf("ind: shard boundaries must be strictly ascending, got %q after %q", bounds[i], bounds[i-1])
-		}
-	}
-	ranges := shardRanges(bounds)
-
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(ranges) {
-		workers = len(ranges)
-	}
-
-	// Deduplicate candidate pairs once: the per-shard merges and the
-	// trivial-satisfaction shortcut below must count each pair exactly
-	// once per shard.
-	uniq := cands
-	{
-		seen := make(map[[2]int]bool, len(cands))
-		dedup := make([]Candidate, 0, len(cands))
-		for _, c := range cands {
-			key := [2]int{c.Dep.ID, c.Ref.ID}
-			if !seen[key] {
-				seen[key] = true
-				dedup = append(dedup, c)
-			}
-		}
-		uniq = dedup
-	}
+	uniq := dedupCandidates(cands)
 
 	// Run one independent heap merge per shard. Shards share nothing but
 	// the (atomic) read counter: every shard opens its own cursors and
@@ -102,54 +63,27 @@ func ShardedSpiderMerge(cands []Candidate, opts ShardedMergeOptions) (*Result, e
 		auto [][2]int
 	}
 	perShard := make([]shardResult, len(ranges))
-	var (
-		wg     sync.WaitGroup
-		next   atomic.Int64
-		errMu  sync.Mutex
-		runErr error
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(ranges) {
-					return
-				}
-				errMu.Lock()
-				failed := runErr != nil
-				errMu.Unlock()
-				if failed {
-					return
-				}
-				shardCands := make([]Candidate, 0, len(uniq))
-				var auto [][2]int
-				for _, c := range uniq {
-					if attrOutsideRange(c.Dep, ranges[i]) {
-						auto = append(auto, [2]int{c.Dep.ID, c.Ref.ID})
-					} else {
-						shardCands = append(shardCands, c)
-					}
-				}
-				sm := newSpiderMerge(shardSource{src: src, bounds: ranges[i]})
-				err := sm.run(shardCands)
-				sm.closeAll()
-				if err != nil {
-					errMu.Lock()
-					if runErr == nil {
-						runErr = err
-					}
-					errMu.Unlock()
-					return
-				}
-				perShard[i] = shardResult{sm: sm, auto: auto}
+	err = runShards(len(ranges), opts.Workers, func(i int) error {
+		shardCands := make([]Candidate, 0, len(uniq))
+		var auto [][2]int
+		for _, c := range uniq {
+			if attrOutsideRange(c.Dep, ranges[i]) {
+				auto = append(auto, [2]int{c.Dep.ID, c.Ref.ID})
+			} else {
+				shardCands = append(shardCands, c)
 			}
-		}()
-	}
-	wg.Wait()
-	if runErr != nil {
-		return nil, runErr
+		}
+		sm := newSpiderMerge(shardSource{src: src, bounds: ranges[i]})
+		err := sm.run(shardCands)
+		sm.closeAll()
+		if err != nil {
+			return err
+		}
+		perShard[i] = shardResult{sm: sm, auto: auto}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	// Combine: a candidate survives iff every shard satisfied it; stats
@@ -227,6 +161,90 @@ type emptyCursor struct{}
 func (emptyCursor) Next() (string, bool) { return "", false }
 func (emptyCursor) Err() error           { return nil }
 func (emptyCursor) Close() error         { return nil }
+
+// resolveShardRanges validates (or samples) the shard boundaries and
+// turns them into the S half-open ranges both sharded engines merge over.
+func resolveShardRanges(cands []Candidate, src RangeSource, shards int, boundaries []string) ([]valfile.Range, error) {
+	if shards < 1 {
+		shards = 1
+	}
+	bounds := boundaries
+	if bounds == nil && shards > 1 {
+		var err error
+		bounds, err = shardBoundaries(cands, src, shards)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			return nil, fmt.Errorf("ind: shard boundaries must be strictly ascending, got %q after %q", bounds[i], bounds[i-1])
+		}
+	}
+	return shardRanges(bounds), nil
+}
+
+// dedupCandidates drops repeated (dep, ref) pairs: the per-shard merges
+// and the trivial-satisfaction shortcut must count each pair exactly once
+// per shard.
+func dedupCandidates(cands []Candidate) []Candidate {
+	seen := make(map[[2]int]bool, len(cands))
+	out := make([]Candidate, 0, len(cands))
+	for _, c := range cands {
+		key := [2]int{c.Dep.ID, c.Ref.ID}
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// runShards runs fn(i) for every shard index on a bounded worker pool
+// (zero workers selects min(n, GOMAXPROCS)), returning the first error.
+// Remaining shards are skipped after a failure.
+func runShards(n, workers int, fn func(i int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	var (
+		wg       sync.WaitGroup
+		next     atomic.Int64
+		errMu    sync.Mutex
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errMu.Lock()
+				failed := firstErr != nil
+				errMu.Unlock()
+				if failed {
+					return
+				}
+				if err := fn(i); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
 
 // shardRanges turns S-1 ascending boundaries into S half-open ranges
 // covering the whole value space.

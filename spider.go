@@ -30,7 +30,6 @@ package spider
 import (
 	"fmt"
 	"os"
-	"runtime"
 	"time"
 
 	"spider/internal/datagen"
@@ -453,10 +452,7 @@ func FindINDs(db *Database, opts Options) (*Result, error) {
 
 // exportWorkers resolves Options.ExportWorkers to a pool size.
 func exportWorkers(opts Options) int {
-	if opts.ExportWorkers == 0 {
-		return runtime.GOMAXPROCS(0)
-	}
-	return opts.ExportWorkers
+	return workerPool(opts.ExportWorkers)
 }
 
 func needsFiles(a Algorithm) bool {
