@@ -706,6 +706,56 @@ func BenchmarkNary(b *testing.B) {
 	}
 }
 
+// BenchmarkNaryTupleSets times levelwise n-ary discovery with the
+// in-memory tuple-set reference engine on UniProt — the memory-bound
+// baseline the merge engine is measured against. b.ReportAllocs makes
+// the tuple-set footprint visible next to BenchmarkNaryMerge's.
+func BenchmarkNaryTupleSets(b *testing.B) {
+	for _, name := range []string{"uniprot", "scop"} {
+		ds := benchDataset(b, name)
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := ind.DiscoverNary(ds.DB, ind.NaryOptions{MaxArity: 3})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == b.N-1 {
+					b.ReportMetric(float64(len(res.Satisfied)), "nary-INDs")
+					b.ReportMetric(float64(res.Stats.TuplesCompared), "tuples/op")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkNaryMerge times the merge-backed n-ary engine on UniProt
+// across shard counts: every level is one (sharded) heap merge over
+// sorted encoded-tuple streams, so peak memory is bounded by the extsort
+// buffers rather than the distinct-tuple sets B/op of the baseline.
+func BenchmarkNaryMerge(b *testing.B) {
+	for _, name := range []string{"uniprot", "scop"} {
+		ds := benchDataset(b, name)
+		for _, shards := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%s/shards=%d", name, shards), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res, err := ind.DiscoverNary(ds.DB, ind.NaryOptions{
+						MaxArity: 3, Algorithm: ind.NaryMerge, Shards: shards,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if i == b.N-1 {
+						b.ReportMetric(float64(len(res.Satisfied)), "nary-INDs")
+						b.ReportMetric(float64(res.Stats.ItemsRead), "items/op")
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkParallelBruteForce sweeps the worker pool on the PDB-shaped
 // dataset — the modern extension beyond the paper's single-threaded runs.
 func BenchmarkParallelBruteForce(b *testing.B) {

@@ -104,7 +104,25 @@ func main() {
 	printStats(res.Stats, name)
 
 	if *nary >= 2 {
-		naryINDs, naryStats, err := spider.FindNaryINDs(db, spider.NaryOptions{MaxArity: *nary, WorkDir: *workDir})
+		// Mirror the -partial wiring: -algo spider-merge selects the
+		// merge-backed n-ary engine; every other algorithm keeps the
+		// in-memory tuple-set reference.
+		naryAlgo := spider.InMemory
+		if algorithm == spider.SpiderMerge {
+			naryAlgo = spider.SpiderMerge
+		}
+		naryOpts := spider.NaryOptions{
+			MaxArity:      *nary,
+			Algorithm:     naryAlgo,
+			WorkDir:       *workDir,
+			ExportWorkers: *exportWorkers,
+		}
+		if naryAlgo == spider.SpiderMerge {
+			naryOpts.Streaming = *streaming
+			naryOpts.Shards = *shards
+			naryOpts.MergeWorkers = *mergeWorkers
+		}
+		naryINDs, naryStats, err := spider.FindNaryINDs(db, naryOpts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "indfind: n-ary: %v\n", err)
 			os.Exit(1)
@@ -113,7 +131,20 @@ func main() {
 		for _, d := range naryINDs {
 			fmt.Printf("  %s\n", d)
 		}
-		printStats(naryStats, fmt.Sprintf("n-ary ≤%d", *nary))
+		for arity := 2; arity < len(naryStats.CandidatesByArity); arity++ {
+			fmt.Printf("  arity %d: %d candidates, %d satisfied, %d items read\n",
+				arity, naryStats.CandidatesByArity[arity],
+				naryStats.SatisfiedByArity[arity], naryStats.ItemsReadByArity[arity])
+		}
+		if naryStats.Truncated {
+			fmt.Printf("  truncated at arity %d (candidate cap); lower-arity results are complete\n",
+				naryStats.StoppedAtArity)
+		}
+		name := fmt.Sprintf("n-ary ≤%d %s", *nary, naryAlgo)
+		if *shards > 1 && naryAlgo == spider.SpiderMerge {
+			name = fmt.Sprintf("%s x%d shards", name, *shards)
+		}
+		printStats(naryStats.Stats, name)
 	}
 }
 

@@ -196,24 +196,81 @@ func (n NaryIND) String() string {
 type NaryOptions struct {
 	// MaxArity bounds the levelwise search (default 4).
 	MaxArity int
-	// WorkDir receives the unary seed level's sorted value files; when
-	// set, the arity-1 inclusions are verified by the one-pass SpiderMerge
-	// engine over exported files instead of in-memory tuple sets (same
-	// results, bounded memory). Empty keeps the in-memory seed.
+	// Algorithm selects the verification engine: InMemory (the default;
+	// cached distinct-tuple hash sets) or SpiderMerge (one sorted
+	// encoded-tuple stream per candidate column list and a single —
+	// optionally sharded — heap merge per level, the same machinery
+	// FindINDs uses for unary INDs). Both return identical results; the
+	// merge engine's peak memory is bounded by the external-sort buffers
+	// instead of the tuple-set sizes. The zero value selects InMemory.
+	Algorithm Algorithm
+	// WorkDir receives the sorted value files (unary seed and, with
+	// SpiderMerge, the per-level tuple files). With InMemory a non-empty
+	// WorkDir upgrades only the unary seed to the file-backed SpiderMerge
+	// path; temporary when empty.
 	WorkDir string
+	// Streaming (SpiderMerge only) streams sorted tuples directly from
+	// external-sort spill runs instead of materializing value files.
+	Streaming bool
+	// Shards (SpiderMerge only) partitions each level's value space into
+	// that many disjoint ranges merged concurrently; 0 or 1 keeps the
+	// single-threaded merge. The output is identical at any shard count.
+	Shards int
+	// MergeWorkers bounds the shard worker pool; 0 selects
+	// min(Shards, GOMAXPROCS).
+	MergeWorkers int
+	// ExportWorkers bounds the tuple-extraction worker pool; 0 selects
+	// GOMAXPROCS, 1 extracts sequentially.
+	ExportWorkers int
+}
+
+// NaryStats extends Stats with the levelwise breakdown of an n-ary run.
+type NaryStats struct {
+	Stats
+	// CandidatesByArity / SatisfiedByArity / ItemsReadByArity count per
+	// level (index = arity; entry 1 is the unary seed).
+	CandidatesByArity []int
+	SatisfiedByArity  []int
+	ItemsReadByArity  []int64
+	// Truncated reports that a level exceeded the candidate cap; the
+	// returned INDs still cover every arity below StoppedAtArity.
+	Truncated      bool
+	StoppedAtArity int
 }
 
 // FindNaryINDs performs levelwise n-ary IND discovery (the multivalued
 // INDs of the paper's Sec 6 discussion, following De Marchi et al.'s
 // MIND): candidates of arity k are generated from satisfied INDs of
-// arity k-1 and verified against distinct tuple sets. Only INDs of arity
-// ≥ 2 are returned; use FindINDs for the unary level. Stats reports the
-// candidates tested across all arities and the satisfied INDs of arity
-// ≥ 2; Comparisons counts tuple-set probes.
-func FindNaryINDs(db *Database, opts NaryOptions) ([]NaryIND, Stats, error) {
-	res, err := ind.DiscoverNary(db.rel, ind.NaryOptions{MaxArity: opts.MaxArity, WorkDir: opts.WorkDir})
+// arity k-1 and verified against distinct tuple sets — in memory, or by
+// the merge-backed engine when Algorithm is SpiderMerge. Only INDs of
+// arity ≥ 2 are returned; use FindINDs for the unary level. Stats
+// reports the candidates tested across all arities and the satisfied
+// INDs of arity ≥ 2; Comparisons counts tuple probes. On pathological
+// schemas the search truncates (never errors) once a level exceeds the
+// internal candidate cap; see NaryStats.Truncated.
+func FindNaryINDs(db *Database, opts NaryOptions) ([]NaryIND, NaryStats, error) {
+	engine := ind.NaryTupleSets
+	switch opts.Algorithm {
+	case SpiderMerge:
+		engine = ind.NaryMerge
+	case InMemory, BruteForce: // BruteForce is the zero value: the default engine
+	default:
+		return nil, NaryStats{}, fmt.Errorf("spider: n-ary discovery supports InMemory or SpiderMerge, not %v", opts.Algorithm)
+	}
+	if engine != ind.NaryMerge && (opts.Streaming || opts.Shards > 1) {
+		return nil, NaryStats{}, fmt.Errorf("spider: Streaming and Shards require Algorithm SpiderMerge")
+	}
+	res, err := ind.DiscoverNary(db.rel, ind.NaryOptions{
+		MaxArity:      opts.MaxArity,
+		Algorithm:     engine,
+		WorkDir:       opts.WorkDir,
+		Streaming:     opts.Streaming,
+		Shards:        opts.Shards,
+		MergeWorkers:  opts.MergeWorkers,
+		ExportWorkers: opts.ExportWorkers,
+	})
 	if err != nil {
-		return nil, Stats{}, err
+		return nil, NaryStats{}, err
 	}
 	var out []NaryIND
 	for _, d := range res.Satisfied {
@@ -224,11 +281,18 @@ func FindNaryINDs(db *Database, opts NaryOptions) ([]NaryIND, Stats, error) {
 		}
 		out = append(out, n)
 	}
-	st := Stats{
-		Satisfied:   len(out),
-		ItemsRead:   res.Stats.ItemsRead,
-		Comparisons: res.Stats.TuplesCompared,
-		Duration:    res.Stats.Duration,
+	st := NaryStats{
+		Stats: Stats{
+			Satisfied:   len(out),
+			ItemsRead:   res.Stats.ItemsRead,
+			Comparisons: res.Stats.TuplesCompared,
+			Duration:    res.Stats.Duration,
+		},
+		CandidatesByArity: res.Stats.CandidatesByArity,
+		SatisfiedByArity:  res.Stats.SatisfiedByArity,
+		ItemsReadByArity:  res.Stats.ItemsReadByArity,
+		Truncated:         res.Truncated,
+		StoppedAtArity:    res.StoppedAtArity,
 	}
 	for _, n := range res.Stats.CandidatesByArity {
 		st.Candidates += n

@@ -231,6 +231,43 @@ func TestFindNaryINDs(t *testing.T) {
 	if !found {
 		t.Errorf("binary IND missing; got %v", nary)
 	}
+	if naryStats.Truncated || naryStats.StoppedAtArity != 0 {
+		t.Errorf("unexpected truncation: %+v", naryStats)
+	}
+	if len(naryStats.CandidatesByArity) == 0 || naryStats.CandidatesByArity[2] == 0 {
+		t.Errorf("per-level candidate counts missing: %+v", naryStats)
+	}
+
+	// The merge-backed engine must return the same INDs and level counts,
+	// at any shard count, with and without streaming extraction.
+	for _, opts := range []NaryOptions{
+		{MaxArity: 2, Algorithm: SpiderMerge},
+		{MaxArity: 2, Algorithm: SpiderMerge, Streaming: true, Shards: 2},
+		{MaxArity: 2, Algorithm: SpiderMerge, Shards: 3, ExportWorkers: 2},
+	} {
+		merged, mergedStats, err := FindNaryINDs(db, opts)
+		if err != nil {
+			t.Fatalf("%+v: %v", opts, err)
+		}
+		if !reflect.DeepEqual(merged, nary) {
+			t.Errorf("%+v: merge engine differs:\ngot  %v\nwant %v", opts, merged, nary)
+		}
+		if !reflect.DeepEqual(mergedStats.SatisfiedByArity, naryStats.SatisfiedByArity) {
+			t.Errorf("%+v: level counts differ: %v vs %v",
+				opts, mergedStats.SatisfiedByArity, naryStats.SatisfiedByArity)
+		}
+		if mergedStats.ItemsRead == 0 {
+			t.Errorf("%+v: merge engine read no items", opts)
+		}
+	}
+
+	// Unsupported engine selections must be rejected.
+	if _, _, err := FindNaryINDs(db, NaryOptions{MaxArity: 2, Algorithm: SinglePass}); err == nil {
+		t.Error("unsupported n-ary algorithm must fail")
+	}
+	if _, _, err := FindNaryINDs(db, NaryOptions{MaxArity: 2, Streaming: true}); err == nil {
+		t.Error("Streaming without SpiderMerge must fail")
+	}
 }
 
 func TestSamplingPretestOption(t *testing.T) {

@@ -98,6 +98,24 @@ func TestTable2Shape(t *testing.T) {
 				ds, pb.Satisfied, byKey[ds+"/brute-force"].Satisfied)
 		}
 	}
+	// The n-ary rows: the merge-backed engine must agree with the
+	// tuple-set reference on candidates and satisfied INDs; only the
+	// merge engine reads sorted streams.
+	for _, ds := range []string{"uniprot", "scop"} {
+		nt, ok := byKey[ds+"/n-ary ≤3 (tuple-sets)"]
+		if !ok {
+			t.Fatalf("%s: missing n-ary tuple-sets row", ds)
+		}
+		nm := byKey[ds+"/n-ary ≤3 (merge)"]
+		if nt.Satisfied != nm.Satisfied || nt.Candidates != nm.Candidates {
+			t.Errorf("%s: n-ary merge (%d/%d) disagrees with tuple sets (%d/%d)",
+				ds, nm.Candidates, nm.Satisfied, nt.Candidates, nt.Satisfied)
+		}
+		if nm.ItemsRead == 0 || nt.ItemsRead != 0 {
+			t.Errorf("%s: n-ary items read: merge %d (want > 0), tuple sets %d (want 0)",
+				ds, nm.ItemsRead, nt.ItemsRead)
+		}
+	}
 }
 
 // Figure 5 shape: single pass reads no more than brute force at every
@@ -209,6 +227,15 @@ func TestAblationsShape(t *testing.T) {
 		if s.ItemsRead > r.PartialBruteItems {
 			t.Errorf("partial merge (S=%d) read %d items, brute force %d",
 				s.Shards, s.ItemsRead, r.PartialBruteItems)
+		}
+	}
+	if len(r.NarySharded) != 3 {
+		t.Fatalf("n-ary sharded points = %d", len(r.NarySharded))
+	}
+	for _, s := range r.NarySharded {
+		if s.Satisfied != r.NaryTupleSatisfied {
+			t.Errorf("n-ary merge (S=%d) changed results: %d vs %d",
+				s.Shards, s.Satisfied, r.NaryTupleSatisfied)
 		}
 	}
 	smallest, unblocked := r.Blocked[0], r.Blocked[len(r.Blocked)-1]

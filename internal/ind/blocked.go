@@ -68,7 +68,7 @@ func SinglePassBlocked(cands []Candidate, opts BlockedOptions) (*Result, error) 
 		}
 	}
 	total.Stats.Satisfied = len(total.Satisfied)
-	total.Stats.ItemsRead = opts.Counter.Total()
+	total.Stats.ItemsRead = totalRead(opts.Counter)
 	total.Stats.Duration = time.Since(start)
 	sortINDs(total.Satisfied)
 	return total, nil

@@ -97,7 +97,7 @@ func BruteForce(cands []Candidate, opts BruteForceOptions) (*Result, error) {
 		res.Stats.InferredRefuted = filter.InferredRefuted
 	}
 	res.Stats.Satisfied = len(res.Satisfied)
-	res.Stats.ItemsRead = opts.Counter.Total()
+	res.Stats.ItemsRead = totalRead(opts.Counter)
 	res.Stats.Duration = time.Since(start)
 	sortINDs(res.Satisfied)
 	return res, nil

@@ -1,0 +1,16 @@
+package ind
+
+import "spider/internal/valfile"
+
+// totalRead is the one nil-safe accessor every engine uses to fill
+// Stats.ItemsRead from its options' Counter. Every engine documents its
+// Counter as "nil disables external counting", so the result trailer
+// must tolerate a nil counter rather than depend on the pointer being
+// set — a direct API caller that skips the counter gets zero ItemsRead,
+// not a panic.
+func totalRead(c *valfile.ReadCounter) int64 {
+	if c == nil {
+		return 0
+	}
+	return c.Total()
+}

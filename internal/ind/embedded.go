@@ -197,7 +197,7 @@ func FindEmbedded(db *relstore.Database, attrs []*Attribute, opts EmbeddedOption
 		}
 	}
 	res.Stats.Satisfied = len(res.Satisfied)
-	res.Stats.ItemsRead = opts.Counter.Total()
+	res.Stats.ItemsRead = totalRead(opts.Counter)
 	res.Stats.Duration = time.Since(start)
 	return res, nil
 }

@@ -11,6 +11,7 @@ import (
 
 	"spider/internal/relstore"
 	"spider/internal/valfile"
+	"spider/internal/value"
 )
 
 // Fuzz-style protocol test: the single-pass algorithm (and the blocked
@@ -201,6 +202,96 @@ func FuzzPartialMerge(f *testing.F) {
 			t.Errorf("σ=%g: sharded merge = %+v, want %+v", sigma, sharded.Satisfied, want)
 		}
 	})
+}
+
+// FuzzNaryMerge derives a random tuple database from raw bytes and
+// cross-checks the merge-backed n-ary engine — files and streaming,
+// unsharded and sharded — against the in-memory tuple-set reference.
+// Run with go test -fuzz=FuzzNaryMerge.
+func FuzzNaryMerge(f *testing.F) {
+	f.Add([]byte{3, 1, 2, 3, 1, 2, 3, 4, 5, 6, 1, 2, 3}, byte(2))
+	f.Add([]byte{2, 9, 9, 0xfe, 7, 9, 9}, byte(5))
+	f.Add([]byte{4, 0, 1, 2, 3, 0, 1, 2, 3, 3, 2, 1, 0}, byte(0))
+	f.Add([]byte{2, 0xf3, 1, 0xf0, 0xf4, 0xf3, 1, 0xf1, 0xf2}, byte(3))
+	f.Fuzz(func(t *testing.T, data []byte, knobs byte) {
+		db := naryDBFromBytes(data)
+		if db == nil {
+			t.Skip("not enough data for two tables")
+		}
+		maxArity := 2 + int(knobs>>2)%2
+		want, err := DiscoverNary(db, NaryOptions{MaxArity: maxArity})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := NaryOptions{
+			MaxArity:  maxArity,
+			Algorithm: NaryMerge,
+			Streaming: knobs&1 != 0,
+			Shards:    1 + int(knobs>>1)%3,
+		}
+		if !opts.Streaming {
+			opts.WorkDir = t.TempDir()
+		}
+		got, err := DiscoverNary(db, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Satisfied, want.Satisfied) {
+			t.Errorf("merge engine differs (streaming=%v shards=%d):\ngot  %v\nwant %v",
+				opts.Streaming, opts.Shards, naryStrings(got.Satisfied), naryStrings(want.Satisfied))
+		}
+		if !reflect.DeepEqual(got.Stats.SatisfiedByArity, want.Stats.SatisfiedByArity) {
+			t.Errorf("level counts differ: %v vs %v",
+				got.Stats.SatisfiedByArity, want.Stats.SatisfiedByArity)
+		}
+	})
+}
+
+// naryDBFromBytes builds a two-table database from raw bytes: the first
+// byte picks the column count (2..4), each following byte contributes
+// one cell (0xfe is NULL; high bytes draw from an adversarial alphabet
+// of separator/escape/empty values so the engines' tuple encodings are
+// exercised, everything else from a 6-value "v%d" alphabet so
+// inclusions actually occur), rows alternate between the two tables.
+// Returns nil when no complete row lands in each table.
+func naryDBFromBytes(data []byte) *relstore.Database {
+	if len(data) < 1 {
+		return nil
+	}
+	nCols := 2 + int(data[0])%3
+	data = data[1:]
+	if len(data) < 2*nCols {
+		return nil
+	}
+	db := relstore.NewDatabase("fuzz")
+	cols := make([]relstore.Column, nCols)
+	for i := range cols {
+		cols[i] = relstore.Column{Name: fmt.Sprintf("c%d", i), Kind: value.String}
+	}
+	tabs := []*relstore.Table{
+		db.MustCreateTable("ta", cols),
+		db.MustCreateTable("tb", cols),
+	}
+	adversarial := []string{"", "\x00", "\x01", "x\x00", "\x00y", "x\x01y", "v0\x00v1"}
+	row := make([]value.Value, 0, nCols)
+	for i, b := range data {
+		switch {
+		case b == 0xfe:
+			row = append(row, value.NewNull())
+		case b >= 0xf0:
+			row = append(row, value.NewString(adversarial[int(b)%len(adversarial)]))
+		default:
+			row = append(row, value.NewString(fmt.Sprintf("v%d", b%6)))
+		}
+		if len(row) == nCols {
+			tabs[(i/nCols)%2].MustInsert(row...)
+			row = row[:0]
+		}
+	}
+	if tabs[0].RowCount() == 0 || tabs[1].RowCount() == 0 {
+		return nil
+	}
+	return db
 }
 
 // sortedDistinct splits a comma-separated list into a sorted duplicate-

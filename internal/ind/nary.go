@@ -2,11 +2,13 @@ package ind
 
 import (
 	"fmt"
+	"os"
 	"runtime"
 	"sort"
 	"strings"
 	"time"
 
+	"spider/internal/extsort"
 	"spider/internal/relstore"
 	"spider/internal/valfile"
 )
@@ -25,6 +27,13 @@ import (
 // arity k is viable only if all of its arity-(k-1) projections are
 // satisfied (the classic MIND pruning). Reflexive positions (a column
 // paired with itself) are trivial and excluded at every arity.
+//
+// Two verification engines are available per level: the in-memory
+// reference engine (distinct-tuple hash sets, one probe loop per
+// candidate) and the merge-backed engine of narymerge.go, which carries
+// the Sec 6 belief through — the same sorted-stream heap merge that
+// verifies unary INDs verifies each level's composite tuples in one
+// (optionally sharded) pass.
 
 // NaryIND is a satisfied n-ary inclusion dependency; Dep[i] pairs with
 // Ref[i].
@@ -45,30 +54,85 @@ func (n NaryIND) String() string {
 	return fmt.Sprintf("(%s) ⊆ (%s)", strings.Join(d, ", "), strings.Join(r, ", "))
 }
 
+// NaryEngine selects the verification engine of DiscoverNary.
+type NaryEngine int
+
+const (
+	// NaryTupleSets verifies each candidate against cached in-memory
+	// distinct-tuple hash sets — the reference engine. Memory grows with
+	// the number of distinct tuples per column list.
+	NaryTupleSets NaryEngine = iota
+	// NaryMerge exports, per level, one sorted encoded-tuple stream per
+	// candidate column list and verifies all of the level's candidates in
+	// a single (optionally sharded) SpiderMerge heap merge — the same
+	// count-free k-way merge the unary engine uses. Peak memory is
+	// bounded by the external-sort buffers, not by tuple-set sizes.
+	NaryMerge
+)
+
+// String names the engine.
+func (e NaryEngine) String() string {
+	switch e {
+	case NaryTupleSets:
+		return "tuple-sets"
+	case NaryMerge:
+		return "merge"
+	default:
+		return fmt.Sprintf("NaryEngine(%d)", int(e))
+	}
+}
+
 // NaryOptions tunes DiscoverNary.
 type NaryOptions struct {
 	// MaxArity bounds the levelwise search (default 4).
 	MaxArity int
-	// MaxCandidatesPerLevel aborts pathological schemas (default 100000).
+	// MaxCandidatesPerLevel truncates the search on pathological schemas
+	// (default 100000): when a level generates more candidates, the
+	// already-verified lower-arity results are returned with
+	// NaryResult.Truncated set instead of an error.
 	MaxCandidatesPerLevel int
-	// WorkDir, when set, receives one sorted value file per eligible
-	// column and the unary seed level is verified by the one-pass
-	// SpiderMerge engine over those files instead of in-memory tuple
-	// sets — same satisfied set, bounded memory. The caller owns the
-	// directory.
+	// Algorithm selects the verification engine: NaryTupleSets (the
+	// default, in-memory reference) or NaryMerge (sorted tuple streams +
+	// one heap merge per level).
+	Algorithm NaryEngine
+	// WorkDir receives the sorted value files (unary seed and, for the
+	// NaryMerge engine, one encoded tuple file per column list and
+	// level). With the NaryTupleSets engine a non-empty WorkDir upgrades
+	// only the unary seed to the file-backed SpiderMerge path; levels ≥ 2
+	// stay in memory. The NaryMerge engine creates (and removes) a
+	// temporary directory when WorkDir is empty. The caller owns a
+	// non-empty WorkDir.
 	WorkDir string
+	// Streaming (NaryMerge only) streams sorted tuples directly from
+	// external-sort spill runs instead of materializing per-level value
+	// files.
+	Streaming bool
+	// Shards (NaryMerge only) partitions each level's encoded value
+	// space into that many disjoint ranges merged concurrently; 0 or 1
+	// keeps the single-threaded merge. Output is identical at any shard
+	// count.
+	Shards int
+	// MergeWorkers bounds the shard worker pool; 0 selects
+	// min(Shards, GOMAXPROCS).
+	MergeWorkers int
+	// ExportWorkers bounds the tuple-extraction worker pool; 0 selects
+	// GOMAXPROCS, 1 extracts sequentially.
+	ExportWorkers int
 }
 
 // NaryStats reports the levelwise search effort.
 type NaryStats struct {
 	// CandidatesByArity / SatisfiedByArity count per level (index =
-	// arity; entries 0 and 1 unused / seed).
+	// arity; entry 0 unused, entry 1 is the unary seed).
 	CandidatesByArity []int
 	SatisfiedByArity  []int
-	// TuplesCompared counts tuple-set probes.
+	// ItemsReadByArity counts values read from sorted streams per level
+	// (merge-backed levels only; in-memory levels read no streams).
+	ItemsReadByArity []int64
+	// TuplesCompared counts tuple probes: hash-set probes for the
+	// reference engine, merge-front comparisons for the merge engine.
 	TuplesCompared int64
-	// ItemsRead counts values read from sorted files (file-backed unary
-	// seed only; the in-memory seed reads no files).
+	// ItemsRead totals ItemsReadByArity.
 	ItemsRead int64
 	Duration  time.Duration
 }
@@ -77,7 +141,13 @@ type NaryStats struct {
 // ≥ 2 (the unary seed is the caller's).
 type NaryResult struct {
 	Satisfied []NaryIND
-	Stats     NaryStats
+	// Truncated reports that a level exceeded MaxCandidatesPerLevel; the
+	// result still holds every IND verified below StoppedAtArity.
+	Truncated bool
+	// StoppedAtArity is the first arity that was not verified (0 when the
+	// search ran to completion).
+	StoppedAtArity int
+	Stats          NaryStats
 }
 
 // pairKey identifies one dep⊆ref column pair.
@@ -102,6 +172,30 @@ func (c naryCand) key() string {
 	return b.String()
 }
 
+// levelVerifier decides one level's candidates in bulk; the verdict slice
+// aligns with cands.
+type levelVerifier interface {
+	verifyLevel(arity int, cands []naryCand) ([]bool, error)
+}
+
+// tupleLevelVerifier adapts the per-candidate tupleVerifier to the
+// level-at-a-time interface.
+type tupleLevelVerifier struct {
+	v *tupleVerifier
+}
+
+func (t *tupleLevelVerifier) verifyLevel(arity int, cands []naryCand) ([]bool, error) {
+	out := make([]bool, len(cands))
+	for i, c := range cands {
+		ok, err := t.v.holds(c)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = ok
+	}
+	return out, nil
+}
+
 // DiscoverNary performs the levelwise search over db. The unary level is
 // computed internally — unlike the unary discovery of Sec 2 (where
 // referenced attributes must be unique columns to be foreign-key
@@ -117,12 +211,31 @@ func DiscoverNary(db *relstore.Database, opts NaryOptions) (*NaryResult, error) 
 	if opts.MaxCandidatesPerLevel <= 0 {
 		opts.MaxCandidatesPerLevel = 100_000
 	}
+	if opts.Algorithm != NaryMerge && (opts.Streaming || opts.Shards > 1) {
+		return nil, fmt.Errorf("ind: Streaming and Shards require the NaryMerge engine, not %v", opts.Algorithm)
+	}
+	workDir := opts.WorkDir
+	if opts.Algorithm == NaryMerge && workDir == "" && !opts.Streaming {
+		tmp, err := os.MkdirTemp("", "spider-nary-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(tmp)
+		workDir = tmp
+	}
 	start := time.Now()
 	res := &NaryResult{}
 	res.Stats.CandidatesByArity = make([]int, opts.MaxArity+1)
 	res.Stats.SatisfiedByArity = make([]int, opts.MaxArity+1)
+	res.Stats.ItemsReadByArity = make([]int64, opts.MaxArity+1)
 
 	verifier := newTupleVerifier(db, &res.Stats)
+	var levels levelVerifier
+	if opts.Algorithm == NaryMerge {
+		levels = &mergeLevelVerifier{db: db, opts: opts, workDir: workDir, stats: &res.Stats}
+	} else {
+		levels = &tupleLevelVerifier{v: verifier}
+	}
 
 	// Level 1 over all eligible columns.
 	attrs, err := CollectAttributes(db)
@@ -136,7 +249,7 @@ func DiscoverNary(db *relstore.Database, opts NaryOptions) (*NaryResult, error) 
 		}
 	}
 	satisfiedKeys := make(map[string]bool)
-	current, err := unarySeed(db, eligible, opts, verifier, res, satisfiedKeys)
+	current, err := unarySeed(db, eligible, opts, workDir, verifier, res, satisfiedKeys)
 	if err != nil {
 		return nil, err
 	}
@@ -146,16 +259,19 @@ func DiscoverNary(db *relstore.Database, opts NaryOptions) (*NaryResult, error) 
 		cands := generateLevel(current, satisfiedKeys)
 		res.Stats.CandidatesByArity[arity] = len(cands)
 		if len(cands) > opts.MaxCandidatesPerLevel {
-			return nil, fmt.Errorf("ind: n-ary level %d exceeds %d candidates (%d)",
-				arity, opts.MaxCandidatesPerLevel, len(cands))
+			// Truncate rather than abort: every IND verified at lower
+			// arities is already in res and stays valid.
+			res.Truncated = true
+			res.StoppedAtArity = arity
+			break
+		}
+		verdicts, err := levels.verifyLevel(arity, cands)
+		if err != nil {
+			return nil, err
 		}
 		var next []naryCand
-		for _, c := range cands {
-			ok, err := verifier.holds(c)
-			if err != nil {
-				return nil, err
-			}
-			if !ok {
+		for i, c := range cands {
+			if !verdicts[i] {
 				continue
 			}
 			satisfiedKeys[c.key()] = true
@@ -167,15 +283,27 @@ func DiscoverNary(db *relstore.Database, opts NaryOptions) (*NaryResult, error) 
 		}
 		current = next
 	}
+	for _, n := range res.Stats.ItemsReadByArity {
+		res.Stats.ItemsRead += n
+	}
 	res.Stats.Duration = time.Since(start)
 	return res, nil
 }
 
+// naryWorkers resolves a worker-count option to a pool size.
+func naryWorkers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
 // unarySeed computes the satisfied arity-1 inclusions over the eligible
-// columns, recording them into res and satisfiedKeys. With a WorkDir it
-// exports one sorted value file per column and verifies all pairs in one
-// SpiderMerge pass; otherwise each pair probes the in-memory tuple sets.
-func unarySeed(db *relstore.Database, eligible []*Attribute, opts NaryOptions, verifier *tupleVerifier, res *NaryResult, satisfiedKeys map[string]bool) ([]naryCand, error) {
+// columns, recording them into res and satisfiedKeys. The NaryMerge
+// engine (or, for the tuple-sets engine, a non-empty WorkDir) verifies
+// all pairs in one SpiderMerge pass over exported value files or
+// spill-run streams; otherwise each pair probes the in-memory tuple sets.
+func unarySeed(db *relstore.Database, eligible []*Attribute, opts NaryOptions, workDir string, verifier *tupleVerifier, res *NaryResult, satisfiedKeys map[string]bool) ([]naryCand, error) {
 	record := func(dep, ref relstore.ColumnRef) naryCand {
 		c := naryCand{
 			depTable: dep.Table, refTable: ref.Table,
@@ -186,10 +314,7 @@ func unarySeed(db *relstore.Database, eligible []*Attribute, opts NaryOptions, v
 		return c
 	}
 
-	if opts.WorkDir != "" {
-		if err := ExportAttributes(db, eligible, ExportConfig{Dir: opts.WorkDir, Workers: runtime.GOMAXPROCS(0)}); err != nil {
-			return nil, err
-		}
+	if opts.Algorithm == NaryMerge || workDir != "" {
 		var cands []Candidate
 		for _, d := range eligible {
 			for _, r := range eligible {
@@ -204,11 +329,12 @@ func unarySeed(db *relstore.Database, eligible []*Attribute, opts NaryOptions, v
 			}
 		}
 		var counter valfile.ReadCounter
-		merged, err := SpiderMerge(cands, SpiderMergeOptions{Counter: &counter})
+		merged, err := mergeUnarySeed(db, eligible, cands, opts, workDir, &counter)
 		if err != nil {
 			return nil, err
 		}
-		res.Stats.ItemsRead = counter.Total()
+		res.Stats.ItemsReadByArity[1] = counter.Total()
+		res.Stats.TuplesCompared += merged.Stats.Comparisons
 		var current []naryCand
 		for _, d := range merged.Satisfied {
 			current = append(current, record(d.Dep, d.Ref))
@@ -241,6 +367,43 @@ func unarySeed(db *relstore.Database, eligible []*Attribute, opts NaryOptions, v
 		}
 	}
 	return current, nil
+}
+
+// mergeUnarySeed verifies the unary seed candidates with the requested
+// export mode (value files, spill-run streams) and shard count — the same
+// plumbing FindINDs uses, reusing the real attribute value sets.
+func mergeUnarySeed(db *relstore.Database, eligible []*Attribute, cands []Candidate, opts NaryOptions, workDir string, counter *valfile.ReadCounter) (*Result, error) {
+	exportCfg := ExportConfig{
+		Dir:     workDir,
+		Sort:    extsort.Config{TempDir: workDir},
+		Workers: naryWorkers(opts.ExportWorkers),
+	}
+	if opts.Shards > 1 {
+		smOpts := ShardedMergeOptions{Counter: counter, Shards: opts.Shards, Workers: opts.MergeWorkers}
+		if opts.Streaming {
+			src, err := StreamAttributesShared(db, eligible, exportCfg, counter)
+			if err != nil {
+				return nil, err
+			}
+			defer src.Close()
+			smOpts.Source = src
+		} else if err := ExportAttributes(db, eligible, exportCfg); err != nil {
+			return nil, err
+		}
+		return ShardedSpiderMerge(cands, smOpts)
+	}
+	smOpts := SpiderMergeOptions{Counter: counter}
+	if opts.Streaming {
+		src, err := StreamAttributes(db, eligible, exportCfg, counter)
+		if err != nil {
+			return nil, err
+		}
+		defer src.Close()
+		smOpts.Source = src
+	} else if err := ExportAttributes(db, eligible, exportCfg); err != nil {
+		return nil, err
+	}
+	return SpiderMerge(cands, smOpts)
 }
 
 func pairDeps(pairs []pairKey) []relstore.ColumnRef {
@@ -393,22 +556,14 @@ func (v *tupleVerifier) tupleSet(table string, cols []relstore.ColumnRef) (map[s
 			return nil, fmt.Errorf("ind: unknown column %s", c)
 		}
 	}
+	// Tuples are keyed by the same injective encoding the merge engine
+	// streams (see encodeTuple): a naive value+separator concatenation
+	// would conflate distinct tuples whose components contain the
+	// separator byte, e.g. ("x\x00", "y") and ("x", "\x00y").
 	set := make(map[string]struct{})
 	var b strings.Builder
 	for r := 0; r < tab.RowCount(); r++ {
-		row := tab.Row(r)
-		b.Reset()
-		null := false
-		for _, i := range idx {
-			cell := row[i]
-			if cell.IsNull() {
-				null = true
-				break
-			}
-			b.WriteString(cell.Canonical())
-			b.WriteByte(0)
-		}
-		if null {
+		if !encodeTuple(&b, tab.Row(r), idx) {
 			continue
 		}
 		set[b.String()] = struct{}{}

@@ -55,6 +55,63 @@ func naryDB(t testing.TB) *relstore.Database {
 	return db
 }
 
+// randomNaryDB builds a random database with genuine higher-arity
+// structure: a parent table over small value pools plus child tables
+// whose rows are sampled (and column-projected) from parent rows, so
+// composite tuples really are included — alongside decoy tables that mix
+// the same domains against the grain.
+func randomNaryDB(seed int64) *relstore.Database {
+	rng := rand.New(rand.NewSource(seed))
+	db := relstore.NewDatabase(fmt.Sprintf("nrand%d", seed))
+	nCols := 3 + rng.Intn(2)
+	cols := make([]relstore.Column, nCols)
+	for i := range cols {
+		cols[i] = relstore.Column{Name: fmt.Sprintf("c%d", i), Kind: value.String}
+	}
+	parent := db.MustCreateTable("parent", cols)
+	nRows := 10 + rng.Intn(20)
+	rows := make([][]value.Value, nRows)
+	for r := range rows {
+		row := make([]value.Value, nCols)
+		for c := range row {
+			row[c] = value.NewString(fmt.Sprintf("v%d_%d", c, rng.Intn(3+c*2)))
+		}
+		rows[r] = row
+		parent.MustInsert(row...)
+	}
+	for t := 0; t < 1+rng.Intn(2); t++ {
+		k := 2 + rng.Intn(nCols-1)
+		proj := rng.Perm(nCols)[:k]
+		ccols := make([]relstore.Column, k)
+		for i := range ccols {
+			ccols[i] = relstore.Column{Name: fmt.Sprintf("d%d", i), Kind: value.String}
+		}
+		child := db.MustCreateTable(fmt.Sprintf("child%d", t), ccols)
+		for r := 0; r < 5+rng.Intn(10); r++ {
+			src := rows[rng.Intn(nRows)]
+			row := make([]value.Value, k)
+			for i, p := range proj {
+				if rng.Intn(12) == 0 {
+					row[i] = value.NewNull()
+				} else {
+					row[i] = src[p]
+				}
+			}
+			child.MustInsert(row...)
+		}
+	}
+	// Decoy: parent domains, rows recombined across source rows.
+	decoy := db.MustCreateTable("decoy", []relstore.Column{
+		{Name: "d0", Kind: value.String},
+		{Name: "d1", Kind: value.String},
+	})
+	for r := 0; r < 8+rng.Intn(8); r++ {
+		a, b := rows[rng.Intn(nRows)], rows[rng.Intn(nRows)]
+		decoy.MustInsert(a[0], b[1])
+	}
+	return db
+}
+
 func naryStrings(inds []NaryIND) []string {
 	var out []string
 	for _, d := range inds {
@@ -287,10 +344,203 @@ func tupleSubset(dep *relstore.Table, d1, d2 int, ref *relstore.Table, r1, r2 in
 	return true
 }
 
-func TestDiscoverNaryCandidateCap(t *testing.T) {
+// Exceeding the candidate cap must truncate the search, not abort it:
+// the already-verified lower-arity results are returned with the
+// Truncated/StoppedAtArity markers set.
+func TestDiscoverNaryCandidateCapTruncates(t *testing.T) {
 	db := naryDB(t)
-	if _, err := DiscoverNary(db, NaryOptions{MaxArity: 2, MaxCandidatesPerLevel: 1}); err == nil {
-		t.Error("candidate cap must abort")
+	res, err := DiscoverNary(db, NaryOptions{MaxArity: 2, MaxCandidatesPerLevel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated || res.StoppedAtArity != 2 {
+		t.Errorf("Truncated = %v, StoppedAtArity = %d; want true, 2", res.Truncated, res.StoppedAtArity)
+	}
+	if res.Stats.SatisfiedByArity[1] == 0 {
+		t.Error("unary seed results discarded on truncation")
+	}
+	if len(res.Satisfied) != 0 {
+		t.Errorf("no arity-2 level was verified, yet Satisfied = %v", naryStrings(res.Satisfied))
+	}
+}
+
+// A cap hit at arity 3 must keep every verified arity-2 IND. A child
+// table copying a 6-column parent with disjoint per-column domains makes
+// the levels grow (C(6,2) = 15 candidates at arity 2, C(6,3) = 20 at
+// arity 3), so a cap of 15 passes level 2 and trips level 3.
+func TestDiscoverNaryTruncationKeepsLowerArities(t *testing.T) {
+	const m = 6
+	db := relstore.NewDatabase("copy")
+	cols := make([]relstore.Column, m)
+	for i := range cols {
+		cols[i] = relstore.Column{Name: fmt.Sprintf("c%d", i), Kind: value.String}
+	}
+	parent := db.MustCreateTable("parent", cols)
+	child := db.MustCreateTable("child", cols)
+	for r := 0; r < 12; r++ {
+		row := make([]value.Value, m)
+		for i := range row {
+			row[i] = value.NewString(fmt.Sprintf("dom%d_%d", i, r%4))
+		}
+		parent.MustInsert(row...)
+		if r%2 == 0 {
+			child.MustInsert(row...)
+		}
+	}
+
+	full, err := DiscoverNary(db, NaryOptions{MaxArity: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Truncated || full.StoppedAtArity != 0 {
+		t.Fatalf("uncapped run must not truncate: %+v", full)
+	}
+	cap2 := full.Stats.CandidatesByArity[2]
+	if full.Stats.CandidatesByArity[3] <= cap2 || full.Stats.SatisfiedByArity[2] == 0 {
+		t.Fatalf("fixture lost its level growth: %v", full.Stats.CandidatesByArity)
+	}
+	res, err := DiscoverNary(db, NaryOptions{MaxArity: 3, MaxCandidatesPerLevel: cap2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated || res.StoppedAtArity != 3 {
+		t.Errorf("Truncated = %v, StoppedAtArity = %d; want true, 3", res.Truncated, res.StoppedAtArity)
+	}
+	var want []NaryIND
+	for _, d := range full.Satisfied {
+		if d.Arity() == 2 {
+			want = append(want, d)
+		}
+	}
+	if !reflect.DeepEqual(res.Satisfied, want) {
+		t.Errorf("truncated result lost arity-2 INDs:\ngot  %v\nwant %v",
+			naryStrings(res.Satisfied), naryStrings(want))
+	}
+}
+
+// The merge-backed engine must produce byte-identical satisfied sets and
+// level counts to the in-memory tuple-set reference, across shard counts,
+// file vs streaming extraction, and arities, on random databases.
+func TestNaryMergeMatchesTupleSets(t *testing.T) {
+	dbs := []*relstore.Database{}
+	for seed := int64(0); seed < 3; seed++ {
+		dbs = append(dbs, randomDB(seed), randomNaryDB(seed))
+	}
+	higherArity := 0
+	for seed, db := range dbs {
+		for _, maxArity := range []int{2, 3, 4} {
+			want, err := DiscoverNary(db, NaryOptions{MaxArity: maxArity})
+			if err != nil {
+				t.Fatal(err)
+			}
+			higherArity += len(want.Satisfied)
+			for _, streaming := range []bool{false, true} {
+				for _, shards := range []int{1, 2, 4} {
+					name := fmt.Sprintf("seed=%d arity=%d streaming=%v shards=%d", seed, maxArity, streaming, shards)
+					opts := NaryOptions{
+						MaxArity:  maxArity,
+						Algorithm: NaryMerge,
+						Streaming: streaming,
+						Shards:    shards,
+					}
+					if !streaming {
+						opts.WorkDir = t.TempDir()
+					}
+					got, err := DiscoverNary(db, opts)
+					if err != nil {
+						t.Fatalf("%s: %v", name, err)
+					}
+					if !reflect.DeepEqual(got.Satisfied, want.Satisfied) {
+						t.Errorf("%s: satisfied sets differ:\ngot  %v\nwant %v",
+							name, naryStrings(got.Satisfied), naryStrings(want.Satisfied))
+					}
+					if !reflect.DeepEqual(got.Stats.SatisfiedByArity, want.Stats.SatisfiedByArity) ||
+						!reflect.DeepEqual(got.Stats.CandidatesByArity, want.Stats.CandidatesByArity) {
+						t.Errorf("%s: level counts differ: %+v vs %+v", name, got.Stats, want.Stats)
+					}
+					if got.Stats.ItemsRead == 0 {
+						t.Errorf("%s: merge engine read no items", name)
+					}
+					if got.Truncated != want.Truncated {
+						t.Errorf("%s: truncation differs", name)
+					}
+				}
+			}
+			if want.Stats.ItemsRead != 0 {
+				t.Errorf("seed %d: tuple-set engine claims stream I/O: %d", seed, want.Stats.ItemsRead)
+			}
+		}
+	}
+	if higherArity == 0 {
+		t.Error("property test is vacuous: no database produced an arity ≥ 2 IND")
+	}
+}
+
+// Tuple identity must be injective: components containing the tuple
+// separator byte must not conflate. ("x\x00", "y") and ("x", "\x00y")
+// would both encode to "x\x00\x00y\x00" under naive concatenation, so a
+// dependent holding only the first tuple would falsely be included in a
+// reference holding only the second. Both engines must refute the
+// binary IND here even though both unary projections hold.
+func TestNarySeparatorBytesDoNotConflateTuples(t *testing.T) {
+	db := relstore.NewDatabase("sep")
+	cols := []relstore.Column{
+		{Name: "a", Kind: value.String},
+		{Name: "b", Kind: value.String},
+	}
+	dep := db.MustCreateTable("dep", cols)
+	ref := db.MustCreateTable("ref", cols)
+	dep.MustInsert(value.NewString("x\x00"), value.NewString("y"))
+	ref.MustInsert(value.NewString("x"), value.NewString("\x00y"))
+	// Make each unary projection hold — but never the composite tuple —
+	// so the arity-2 candidate survives the apriori prune.
+	ref.MustInsert(value.NewString("x\x00"), value.NewString("z"))
+	ref.MustInsert(value.NewString("w"), value.NewString("y"))
+	for _, opts := range []NaryOptions{
+		{MaxArity: 2},
+		{MaxArity: 2, Algorithm: NaryMerge},
+	} {
+		res, err := DiscoverNary(db, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range res.Satisfied {
+			if d.String() == "(dep.a, dep.b) ⊆ (ref.a, ref.b)" {
+				t.Errorf("%v engine: separator-conflated tuples reported as included", opts.Algorithm)
+			}
+		}
+	}
+}
+
+// The merge engine must reject sharding/streaming combined with the
+// tuple-sets engine, mirroring the unary API contracts.
+func TestDiscoverNaryOptionValidation(t *testing.T) {
+	db := naryDB(t)
+	if _, err := DiscoverNary(db, NaryOptions{Streaming: true}); err == nil {
+		t.Error("Streaming without NaryMerge must fail")
+	}
+	if _, err := DiscoverNary(db, NaryOptions{Shards: 2}); err == nil {
+		t.Error("Shards without NaryMerge must fail")
+	}
+}
+
+// Per-level items-read accounting: every merge-verified level reads
+// streams; the totals must add up.
+func TestNaryMergeItemsReadByArity(t *testing.T) {
+	db := naryDB(t)
+	res, err := DiscoverNary(db, NaryOptions{MaxArity: 3, Algorithm: NaryMerge})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	for arity, n := range res.Stats.ItemsReadByArity {
+		if arity >= 1 && res.Stats.CandidatesByArity[arity] > 0 && n == 0 {
+			t.Errorf("arity %d: %d candidates verified without reading items", arity, res.Stats.CandidatesByArity[arity])
+		}
+		sum += n
+	}
+	if sum != res.Stats.ItemsRead {
+		t.Errorf("ItemsRead = %d, sum of levels = %d", res.Stats.ItemsRead, sum)
 	}
 }
 

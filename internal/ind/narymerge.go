@@ -1,0 +1,285 @@
+package ind
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"spider/internal/extsort"
+	"spider/internal/relstore"
+	"spider/internal/valfile"
+	"spider/internal/value"
+)
+
+// This file extends the SpiderMerge machinery to composite tuples — the
+// belief the paper states in Sec 6 ("our algorithms for finding unary
+// INDs more efficiently ... will also be beneficial for finding
+// multivalued INDs") made concrete. Per level, every candidate column
+// list becomes one synthetic attribute whose value set is the sorted
+// distinct stream of its encoded tuples (NULL-containing tuples dropped,
+// deduplication by the external sorter); the whole level's candidates
+// are then decided in a single count-free heap merge — optionally
+// sharded across disjoint ranges of the encoded value space — exactly as
+// the unary engine decides its candidates. Verification becomes
+// I/O-bound: peak memory is the extsort buffer, never a tuple set.
+
+// appendEscaped writes s with the tuple-component escaping: bytes 0x00
+// and 0x01 are escaped through 0x01, so 0x00 can serve as an
+// unambiguous component separator for arbitrary strings.
+func appendEscaped(b *strings.Builder, s string) {
+	for j := 0; j < len(s); j++ {
+		switch s[j] {
+		case 0:
+			b.WriteByte(1)
+			b.WriteByte(2)
+		case 1:
+			b.WriteByte(1)
+			b.WriteByte(1)
+		default:
+			b.WriteByte(s[j])
+		}
+	}
+}
+
+// encodeTuple appends the injectively encoded tuple of row values at idx
+// to b, returning false when any component is NULL (such tuples are
+// dropped, matching the tupleVerifier convention). Components are joined
+// by 0x00 and escaped via appendEscaped, so the encoding is unambiguous
+// for arbitrary canonical strings.
+func encodeTuple(b *strings.Builder, row []value.Value, idx []int) bool {
+	b.Reset()
+	for n, i := range idx {
+		cell := row[i]
+		if cell.IsNull() {
+			return false
+		}
+		if n > 0 {
+			b.WriteByte(0)
+		}
+		appendEscaped(b, cell.Canonical())
+	}
+	return true
+}
+
+// tupleList is one distinct column list of a level, with the synthetic
+// attribute the merge engines consume.
+type tupleList struct {
+	table string
+	cols  []relstore.ColumnRef
+	attr  *Attribute
+}
+
+// listIdent is the synthetic ColumnRef identifying a column list inside
+// one level's merge: the table plus the ordered column names, joined
+// with the same injective encoding as the tuple values so column names
+// containing separator bytes cannot conflate two distinct lists.
+func listIdent(table string, cols []relstore.ColumnRef) relstore.ColumnRef {
+	var b strings.Builder
+	for i, c := range cols {
+		if i > 0 {
+			b.WriteByte(0)
+		}
+		appendEscaped(&b, c.Column)
+	}
+	return relstore.ColumnRef{Table: table, Column: b.String()}
+}
+
+// mergeLevelVerifier verifies one level at a time with the SpiderMerge
+// heap merge over encoded tuple streams.
+type mergeLevelVerifier struct {
+	db      *relstore.Database
+	opts    NaryOptions
+	workDir string
+	stats   *NaryStats
+}
+
+func (m *mergeLevelVerifier) verifyLevel(arity int, cands []naryCand) ([]bool, error) {
+	out := make([]bool, len(cands))
+	if len(cands) == 0 {
+		return out, nil
+	}
+
+	// Collect the level's distinct column lists in first-appearance order
+	// (deterministic: cands arrive sorted by key) and pair each candidate
+	// with its dep/ref synthetic attributes.
+	var lists []*tupleList
+	byIdent := make(map[relstore.ColumnRef]*tupleList)
+	listOf := func(table string, cols []relstore.ColumnRef) *tupleList {
+		id := listIdent(table, cols)
+		if l, ok := byIdent[id]; ok {
+			return l
+		}
+		l := &tupleList{
+			table: table,
+			cols:  cols,
+			attr:  &Attribute{ID: len(lists), Ref: id},
+		}
+		byIdent[id] = l
+		lists = append(lists, l)
+		return l
+	}
+	pairs := make([]Candidate, len(cands))
+	for i, c := range cands {
+		pairs[i] = Candidate{
+			Dep: listOf(c.depTable, pairDeps(c.pairs)).attr,
+			Ref: listOf(c.refTable, pairRefs(c.pairs)).attr,
+		}
+	}
+
+	var counter valfile.ReadCounter
+	res, err := m.runMerge(arity, lists, pairs, &counter)
+	if err != nil {
+		return nil, err
+	}
+	sat := make(map[IND]bool, len(res.Satisfied))
+	for _, d := range res.Satisfied {
+		sat[d] = true
+	}
+	for i := range cands {
+		out[i] = sat[IND{Dep: pairs[i].Dep.Ref, Ref: pairs[i].Ref.Ref}]
+	}
+	m.stats.ItemsReadByArity[arity] += counter.Total()
+	m.stats.TuplesCompared += res.Stats.Comparisons
+	return out, nil
+}
+
+// runMerge extracts every list's encoded tuple stream in the configured
+// mode (per-level value files, or spill-run streaming) and decides the
+// level's candidates in one SpiderMerge — sharded when requested.
+func (m *mergeLevelVerifier) runMerge(arity int, lists []*tupleList, pairs []Candidate, counter *valfile.ReadCounter) (*Result, error) {
+	workers := naryWorkers(m.opts.ExportWorkers)
+	sortCfg := extsort.Config{TempDir: m.workDir}
+	switch {
+	case m.opts.Streaming && m.opts.Shards > 1:
+		// Sharded streaming: freeze each list's sorter into shareable
+		// runs every shard replays over its own range.
+		src := NewRunsSource(counter)
+		defer src.Close()
+		var mu sync.Mutex
+		err := runShards(len(lists), workers, func(i int) error {
+			sorter, err := m.fillTupleSorter(lists[i], sortCfg)
+			if err != nil {
+				return err
+			}
+			runs, err := sorter.Freeze()
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			src.Add(lists[i].attr, runs)
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return ShardedSpiderMerge(pairs, ShardedMergeOptions{
+			Counter: counter, Source: src,
+			Shards: m.opts.Shards, Workers: m.opts.MergeWorkers,
+		})
+	case m.opts.Streaming:
+		src := NewSorterSource(counter)
+		defer src.Close()
+		var mu sync.Mutex
+		err := runShards(len(lists), workers, func(i int) error {
+			sorter, err := m.fillTupleSorter(lists[i], sortCfg)
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			src.Add(lists[i].attr, sorter)
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return SpiderMerge(pairs, SpiderMergeOptions{Counter: counter, Source: src})
+	default:
+		// Per-level value files, removed once the level is decided so
+		// disk usage stays bounded by one level.
+		paths := make([]string, len(lists))
+		defer func() {
+			for _, p := range paths {
+				if p != "" {
+					os.Remove(p)
+				}
+			}
+		}()
+		err := runShards(len(lists), workers, func(i int) error {
+			sorter, err := m.fillTupleSorter(lists[i], sortCfg)
+			if err != nil {
+				return err
+			}
+			path := filepath.Join(m.workDir, fmt.Sprintf("nary_l%02d_%05d.val", arity, i))
+			n, _, err := sorter.WriteTo(path)
+			if err != nil {
+				return err
+			}
+			paths[i] = path
+			lists[i].attr.Path = path
+			lists[i].attr.Distinct = n
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if m.opts.Shards > 1 {
+			return ShardedSpiderMerge(pairs, ShardedMergeOptions{
+				Counter: counter, Shards: m.opts.Shards, Workers: m.opts.MergeWorkers,
+			})
+		}
+		return SpiderMerge(pairs, SpiderMergeOptions{Counter: counter})
+	}
+}
+
+// fillTupleSorter scans the list's table once, pushing every NULL-free
+// encoded tuple through a fresh external sorter, and fills the synthetic
+// attribute's statistics (the sharded engine's range pruning reads
+// NonNull/Distinct/Min/Max; Distinct is refined to the exact count when
+// a value file is written).
+func (m *mergeLevelVerifier) fillTupleSorter(l *tupleList, cfg extsort.Config) (*extsort.Sorter, error) {
+	tab := m.db.Table(l.table)
+	if tab == nil {
+		return nil, fmt.Errorf("ind: unknown table %q", l.table)
+	}
+	idx := make([]int, len(l.cols))
+	for i, c := range l.cols {
+		idx[i] = tab.ColumnIndex(c.Column)
+		if idx[i] < 0 {
+			return nil, fmt.Errorf("ind: unknown column %s", c)
+		}
+	}
+	sorter := extsort.New(cfg)
+	var b strings.Builder
+	added := 0
+	min, max := "", ""
+	for r := 0; r < tab.RowCount(); r++ {
+		if !encodeTuple(&b, tab.Row(r), idx) {
+			continue
+		}
+		enc := b.String()
+		if added == 0 || enc < min {
+			min = enc
+		}
+		if added == 0 || enc > max {
+			max = enc
+		}
+		added++
+		if err := sorter.Add(enc); err != nil {
+			sorter.Discard()
+			return nil, err
+		}
+	}
+	a := l.attr
+	a.Rows = tab.RowCount()
+	a.NonNull = added
+	// Distinct is an upper bound until a value file reports the exact
+	// count; the merge paths only rely on Distinct > 0 ⇔ values exist.
+	a.Distinct = added
+	a.MinCanonical = min
+	a.MaxCanonical = max
+	return sorter, nil
+}

@@ -89,7 +89,7 @@ func BruteForceParallel(cands []Candidate, opts ParallelOptions) (*Result, error
 	res.Stats.Comparisons = comparisons.Load()
 	res.Stats.FilesOpened = int(filesOpened.Load())
 	res.Stats.MaxOpenFiles = 2 * opts.Workers
-	res.Stats.ItemsRead = opts.Counter.Total()
+	res.Stats.ItemsRead = totalRead(opts.Counter)
 	res.Stats.Duration = time.Since(start)
 	sortINDs(res.Satisfied)
 	return res, nil

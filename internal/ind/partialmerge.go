@@ -194,7 +194,7 @@ func partialVerdict(st *partialState, sigma float64, dep, ref *Attribute) (Parti
 func finishPartialResult(res *PartialResult, candidates int, counter *valfile.ReadCounter, start time.Time) {
 	res.Stats.Candidates = candidates
 	res.Stats.Satisfied = len(res.Satisfied)
-	res.Stats.ItemsRead = counter.Total()
+	res.Stats.ItemsRead = totalRead(counter)
 	res.Stats.Duration = time.Since(start)
 	sort.Slice(res.Satisfied, func(i, j int) bool {
 		if res.Satisfied[i].Dep != res.Satisfied[j].Dep {

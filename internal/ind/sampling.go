@@ -1,6 +1,7 @@
 package ind
 
 import (
+	"fmt"
 	"math/rand"
 
 	"spider/internal/relstore"
@@ -53,6 +54,9 @@ func SamplingPretest(db *relstore.Database, cands []Candidate, opts SamplingOpti
 			return s, nil
 		}
 		tab := db.Table(a.Ref.Table)
+		if tab == nil {
+			return nil, fmt.Errorf("ind: unknown table %q", a.Ref.Table)
+		}
 		// Reservoir-sample distinct canonical values from the column.
 		seen := make(map[string]struct{})
 		var reservoir []string
@@ -85,7 +89,11 @@ func SamplingPretest(db *relstore.Database, cands []Candidate, opts SamplingOpti
 		if s, ok := refSets[a.ID]; ok {
 			return s, nil
 		}
-		vals, err := db.Table(a.Ref.Table).DistinctCanonical(a.Ref.Column)
+		tab := db.Table(a.Ref.Table)
+		if tab == nil {
+			return nil, fmt.Errorf("ind: unknown table %q", a.Ref.Table)
+		}
+		vals, err := tab.DistinctCanonical(a.Ref.Column)
 		if err != nil {
 			return nil, err
 		}

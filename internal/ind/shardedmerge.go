@@ -117,7 +117,7 @@ func ShardedSpiderMerge(cands []Candidate, opts ShardedMergeOptions) (*Result, e
 	}
 	res.Stats.Candidates = len(cands)
 	res.Stats.Satisfied = len(res.Satisfied)
-	res.Stats.ItemsRead = opts.Counter.Total()
+	res.Stats.ItemsRead = totalRead(opts.Counter)
 	res.Stats.Duration = time.Since(start)
 	sortINDs(res.Satisfied)
 	return res, nil

@@ -42,7 +42,7 @@ func SinglePass(cands []Candidate, opts SinglePassOptions) (*Result, error) {
 	res.Stats = sp.stats
 	res.Stats.Candidates = len(cands)
 	res.Stats.Satisfied = len(res.Satisfied)
-	res.Stats.ItemsRead = opts.Counter.Total()
+	res.Stats.ItemsRead = totalRead(opts.Counter)
 	res.Stats.Duration = time.Since(start)
 	sortINDs(res.Satisfied)
 	return res, nil
