@@ -31,6 +31,7 @@ import (
 	"spider/internal/extsort"
 	"spider/internal/ind"
 	"spider/internal/relstore"
+	"spider/internal/sketch"
 	"spider/internal/valfile"
 )
 
@@ -548,6 +549,41 @@ func BenchmarkAblation_SamplingPretest(b *testing.B) {
 				}
 				if i == b.N-1 {
 					b.ReportMetric(float64(len(cands)), "candidates")
+					b.ReportMetric(float64(res.Stats.Satisfied), "INDs")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_SketchPrefilter measures the sketch pre-filter at
+// sound settings (definite bloom refutation only): sketch build +
+// candidate pruning + SpiderMerge over the survivors, vs the unfiltered
+// merge at sketch=off. The IND output is identical by construction.
+func BenchmarkAblation_SketchPrefilter(b *testing.B) {
+	ds := benchDataset(b, "uniprot")
+	for _, enabled := range []bool{false, true} {
+		b.Run(fmt.Sprintf("sketch=%v", enabled), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cands := ds.Candidates
+				var pruned int
+				if enabled {
+					for _, a := range ds.Attrs {
+						a.Sketch = nil // rebuild each iteration: the build is part of the cost
+					}
+					if err := ind.BuildAttributeSketches(ds.DB, ds.Attrs, sketch.Config{}, 0); err != nil {
+						b.Fatal(err)
+					}
+					var st ind.SketchPretestStats
+					cands, st = ind.SketchPretest(cands, ind.SketchPretestOptions{ExactRefutation: true})
+					pruned = st.Pruned
+				}
+				res, err := ind.SpiderMerge(cands, ind.SpiderMergeOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == b.N-1 {
+					b.ReportMetric(float64(pruned), "pruned")
 					b.ReportMetric(float64(res.Stats.Satisfied), "INDs")
 				}
 			}

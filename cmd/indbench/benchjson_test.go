@@ -1,0 +1,79 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: spider
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkTable2_UniProt_BruteForce-8   	       1	  84123456 ns/op	        22.00 INDs
+BenchmarkModern_UniProt25/spider-merge-8         	       1	   7000000 ns/op
+BenchmarkTiny-8   	 1000000	      105.0 ns/op
+PASS
+ok  	spider	12.3s
+`
+
+func TestParseBench(t *testing.T) {
+	f, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(f.Benchmarks))
+	}
+	e, ok := f.Benchmarks["Table2_UniProt_BruteForce"]
+	if !ok || e.NsPerOp != 84123456 || e.Runs != 1 {
+		t.Fatalf("Table2 entry = %+v ok=%v", e, ok)
+	}
+	if _, ok := f.Benchmarks["Modern_UniProt25/spider-merge"]; !ok {
+		t.Fatal("sub-benchmark path not preserved")
+	}
+	if e := f.Benchmarks["Tiny"]; e.NsPerOp != 105 || e.Runs != 1000000 {
+		t.Fatalf("Tiny entry = %+v", e)
+	}
+	if _, err := parseBench(strings.NewReader("PASS\n")); err == nil {
+		t.Fatal("empty bench output accepted")
+	}
+}
+
+func TestCompareBench(t *testing.T) {
+	mk := func(entries map[string]float64) *BenchFile {
+		f := &BenchFile{Schema: benchSchema, Benchmarks: map[string]BenchEntry{}}
+		for name, ns := range entries {
+			f.Benchmarks[name] = BenchEntry{NsPerOp: ns, Runs: 1}
+		}
+		return f
+	}
+	base := mk(map[string]float64{
+		"Slow":     100e6,
+		"Stable":   200e6,
+		"Noisy":    1e6,  // both sides below the 50ms floor: never compared
+		"Exploded": 10e6, // below the floor in the baseline only
+		"Removed":  100e6,
+	})
+	current := mk(map[string]float64{
+		"Slow":     130e6, // +30%: regression at 25% tolerance
+		"Stable":   220e6, // +10%: fine
+		"Noisy":    40e6,  // still below floor: skipped
+		"Exploded": 500e6, // fast benchmark regressed past the floor: must fail
+		"New":      500e6,
+	})
+	var warn strings.Builder
+	regs := compareBench(base, current, 0.25, 50e6, &warn)
+	if len(regs) != 2 || regs[0].name != "Exploded" || regs[1].name != "Slow" {
+		t.Fatalf("regressions = %+v, want Exploded and Slow", regs)
+	}
+	if regs[1].ratio < 1.29 || regs[1].ratio > 1.31 {
+		t.Fatalf("ratio = %v", regs[1].ratio)
+	}
+	if !strings.Contains(warn.String(), "Removed") || !strings.Contains(warn.String(), "New") {
+		t.Fatalf("warnings missing: %q", warn.String())
+	}
+	// Tightening the tolerance flags Stable too.
+	if regs := compareBench(base, current, 0.05, 50e6, &warn); len(regs) != 3 {
+		t.Fatalf("at 5%% tolerance got %d regressions, want 3", len(regs))
+	}
+}

@@ -13,6 +13,15 @@
 //
 // -scale multiplies the dataset sizes (1.0 reproduces the default bench
 // scale; the paper's absolute sizes are ~100x larger).
+//
+// The -json mode instead converts `go test -bench` output into the
+// benchmark-trajectory JSON the CI pipeline gates on:
+//
+//	go test -bench . -benchtime 1x -run '^$' | \
+//	  indbench -json -out BENCH_ci.json -baseline BENCH_baseline.json
+//
+// With -baseline it exits non-zero when any benchmark above the noise
+// floor (-minms) regressed by more than -tolerance.
 package main
 
 import (
@@ -29,7 +38,17 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "multiplier on the default dataset scales")
 	pdbTables := flag.Int("pdbtables", 39, "PDB table count (paper's second fraction: 39)")
 	soft := flag.Float64("soft", 0.98, "softened accession-number threshold (section5)")
+	jsonMode := flag.Bool("json", false, "convert `go test -bench` output to benchmark JSON instead of running experiments")
+	jsonIn := flag.String("in", "-", "bench output to read in -json mode (- = stdin)")
+	jsonOut := flag.String("out", "BENCH_ci.json", "JSON file to write in -json mode (empty = none)")
+	baseline := flag.String("baseline", "", "baseline JSON to compare against in -json mode (empty = no gate)")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed slowdown vs baseline before failing (-json mode)")
+	minMs := flag.Float64("minms", 50, "noise floor in milliseconds; faster benchmarks are not compared (-json mode)")
 	flag.Parse()
+
+	if *jsonMode {
+		os.Exit(runBenchJSON(*jsonIn, *jsonOut, *baseline, *tolerance, *minMs))
+	}
 
 	base := experiments.Default()
 	cfg := experiments.Config{

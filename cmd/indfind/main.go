@@ -38,6 +38,11 @@ func main() {
 	partial := flag.Float64("partial", 0, "discover partial INDs at this threshold σ in (0, 1] instead of exact INDs")
 	nary := flag.Int("nary", 0, "also discover n-ary INDs up to this arity (0 = off)")
 	workDir := flag.String("workdir", "", "directory for sorted value files (temporary when empty)")
+	sketchOn := flag.Bool("sketch", false, "enable the sketch pre-filter (min-hash + bloom; sound on the exact path)")
+	sketchContainment := flag.Float64("sketch-containment", 0,
+		"also prune candidates with estimated containment below this bound (approximate; 0 = off on the exact path, σ on the partial path)")
+	sketchK := flag.Int("sketch-k", 0, "min-hash signature size (0 = default 128)")
+	sketchBloomBits := flag.Int("sketch-bloombits", 0, "bloom bits per distinct value (0 = default 10)")
 	flag.Parse()
 
 	db, err := openDatabase(*csvDir, *data, *scale, *seed)
@@ -54,13 +59,17 @@ func main() {
 
 	if *partial > 0 {
 		partials, stats, err := spider.FindPartialINDs(db, spider.PartialOptions{
-			Threshold:     *partial,
-			WorkDir:       *workDir,
-			Algorithm:     algorithm,
-			Streaming:     *streaming,
-			Shards:        *shards,
-			MergeWorkers:  *mergeWorkers,
-			ExportWorkers: *exportWorkers,
+			Threshold:               *partial,
+			WorkDir:                 *workDir,
+			Algorithm:               algorithm,
+			Streaming:               *streaming,
+			Shards:                  *shards,
+			MergeWorkers:            *mergeWorkers,
+			ExportWorkers:           *exportWorkers,
+			SketchPrefilter:         *sketchOn,
+			SketchMinContainment:    *sketchContainment,
+			SketchK:                 *sketchK,
+			SketchBloomBitsPerValue: *sketchBloomBits,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "indfind: %v\n", err)
@@ -78,17 +87,21 @@ func main() {
 	}
 
 	res, err := spider.FindINDs(db, spider.Options{
-		Algorithm:       algorithm,
-		WorkDir:         *workDir,
-		MaxValuePretest: *pretest,
-		Transitivity:    *transitivity,
-		DepBlock:        *depBlock,
-		RefBlock:        *refBlock,
-		Workers:         *workers,
-		ExportWorkers:   *exportWorkers,
-		Streaming:       *streaming,
-		Shards:          *shards,
-		MergeWorkers:    *mergeWorkers,
+		Algorithm:               algorithm,
+		WorkDir:                 *workDir,
+		MaxValuePretest:         *pretest,
+		Transitivity:            *transitivity,
+		DepBlock:                *depBlock,
+		RefBlock:                *refBlock,
+		Workers:                 *workers,
+		ExportWorkers:           *exportWorkers,
+		Streaming:               *streaming,
+		Shards:                  *shards,
+		MergeWorkers:            *mergeWorkers,
+		SketchPrefilter:         *sketchOn,
+		SketchMinContainment:    *sketchContainment,
+		SketchK:                 *sketchK,
+		SketchBloomBitsPerValue: *sketchBloomBits,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "indfind: %v\n", err)
@@ -154,6 +167,10 @@ func printStats(st spider.Stats, approach string) {
 		"%d max open files, %d events, %s (%s)\n",
 		st.Candidates, st.Satisfied, st.ItemsRead, st.Comparisons,
 		st.MaxOpenFiles, st.Events, st.Duration.Round(1e6), approach)
+	if st.CandidatesPruned > 0 || st.SketchBytes > 0 {
+		fmt.Printf("sketch pre-filter: %d candidates pruned, %d sketch bytes\n",
+			st.CandidatesPruned, st.SketchBytes)
+	}
 }
 
 func openDatabase(csvDir, data string, scale float64, seed int64) (*spider.Database, error) {

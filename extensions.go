@@ -7,6 +7,7 @@ import (
 
 	"spider/internal/extsort"
 	"spider/internal/ind"
+	"spider/internal/sketch"
 	"spider/internal/valfile"
 )
 
@@ -55,6 +56,24 @@ type PartialOptions struct {
 	// ExportWorkers bounds the attribute-export worker pool; 0 selects
 	// GOMAXPROCS, 1 exports sequentially.
 	ExportWorkers int
+	// SketchPrefilter enables the sketch pre-filter on the partial
+	// path. Unlike the exact path there is no sound refutation rule
+	// here — a few provably missing values refute only the exact IND —
+	// so the filter prunes by estimated containment instead: a
+	// candidate is dropped when its estimate falls below
+	// SketchMinContainment (default: the σ threshold itself). This is
+	// APPROXIMATE — a borderline partial IND can be lost — which is why
+	// it is opt-in on this path.
+	SketchPrefilter bool
+	// SketchMinContainment overrides the pruning cut-off; 0 uses σ.
+	// Values below σ make the filter more conservative (a σ=0.9
+	// candidate whose estimate is 0.85 may still be verified), values
+	// above σ more aggressive.
+	SketchMinContainment float64
+	// SketchK and SketchBloomBitsPerValue size the sketches (0 =
+	// package defaults).
+	SketchK                 int
+	SketchBloomBitsPerValue int
 	// MaxValuePretest is NOT applied: a dependent maximum above the
 	// referenced maximum refutes only the exact IND, not a partial one.
 	// SamplingPretest is likewise unsound for partial INDs and skipped.
@@ -69,6 +88,9 @@ type PartialOptions struct {
 func FindPartialINDs(db *Database, opts PartialOptions) ([]PartialIND, Stats, error) {
 	if opts.Threshold <= 0 || opts.Threshold > 1 {
 		return nil, Stats{}, fmt.Errorf("spider: partial threshold must be in (0, 1], got %v", opts.Threshold)
+	}
+	if opts.SketchMinContainment < 0 || opts.SketchMinContainment > 1 {
+		return nil, Stats{}, fmt.Errorf("spider: SketchMinContainment must be in [0, 1], got %v", opts.SketchMinContainment)
 	}
 	switch opts.Algorithm {
 	case BruteForce, SpiderMerge:
@@ -93,14 +115,51 @@ func FindPartialINDs(db *Database, opts PartialOptions) ([]PartialIND, Stats, er
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	if exportFiles {
-		if err := ind.ExportAttributes(db.rel, attrs, ind.ExportConfig{Dir: workDir, Workers: workerPool(opts.ExportWorkers)}); err != nil {
+
+	// Extraction, hoisted before candidate generation so that sketches
+	// (built in the same pass) exist by the time the pre-filter runs.
+	var counter valfile.ReadCounter
+	exportCfg := ind.ExportConfig{
+		Dir: workDir, Workers: workerPool(opts.ExportWorkers),
+		Sort:     extsort.Config{TempDir: opts.WorkDir},
+		Sketches: opts.SketchPrefilter,
+		SketchConfig: sketch.Config{
+			K: opts.SketchK, BloomBitsPerValue: opts.SketchBloomBitsPerValue,
+		},
+	}
+	var streamSrc *ind.SorterSource
+	var sharedSrc *ind.RunsSource
+	switch {
+	case exportFiles:
+		if err := ind.ExportAttributes(db.rel, attrs, exportCfg); err != nil {
 			return nil, Stats{}, err
 		}
+	case opts.Shards > 1:
+		sharedSrc, err = ind.StreamAttributesShared(db.rel, attrs, exportCfg, &counter)
+		if err != nil {
+			return nil, Stats{}, err
+		}
+		defer sharedSrc.Close()
+	default:
+		streamSrc, err = ind.StreamAttributes(db.rel, attrs, exportCfg, &counter)
+		if err != nil {
+			return nil, Stats{}, err
+		}
+		defer streamSrc.Close()
 	}
-	cands, _ := ind.GenerateCandidates(attrs, ind.GenOptions{PartialThreshold: opts.Threshold})
 
-	var counter valfile.ReadCounter
+	cands, _ := ind.GenerateCandidates(attrs, ind.GenOptions{PartialThreshold: opts.Threshold})
+	var sketchStats ind.SketchPretestStats
+	if opts.SketchPrefilter {
+		cut := opts.SketchMinContainment
+		if cut == 0 {
+			cut = opts.Threshold // validated to (0, 1] above
+		}
+		// No ExactRefutation here: a provably missing value refutes the
+		// exact IND, never a partial one.
+		cands, sketchStats = ind.SketchPretest(cands, ind.SketchPretestOptions{MinContainment: cut})
+	}
+
 	var res *ind.PartialResult
 	switch {
 	case opts.Algorithm == BruteForce:
@@ -110,34 +169,22 @@ func FindPartialINDs(db *Database, opts PartialOptions) ([]PartialIND, Stats, er
 			Threshold: opts.Threshold, Counter: &counter,
 			Shards: opts.Shards, Workers: opts.MergeWorkers,
 		}
-		if opts.Streaming {
-			src, serr := ind.StreamAttributesShared(db.rel, attrs, ind.ExportConfig{
-				Sort: extsort.Config{TempDir: opts.WorkDir}, Workers: workerPool(opts.ExportWorkers),
-			}, &counter)
-			if serr != nil {
-				return nil, Stats{}, serr
-			}
-			defer src.Close()
-			smOpts.Source = src
+		if sharedSrc != nil {
+			smOpts.Source = sharedSrc
 		}
 		res, err = ind.ShardedPartialSpiderMerge(cands, smOpts)
 	default:
 		smOpts := ind.PartialMergeOptions{Threshold: opts.Threshold, Counter: &counter}
-		if opts.Streaming {
-			src, serr := ind.StreamAttributes(db.rel, attrs, ind.ExportConfig{
-				Sort: extsort.Config{TempDir: opts.WorkDir}, Workers: workerPool(opts.ExportWorkers),
-			}, &counter)
-			if serr != nil {
-				return nil, Stats{}, serr
-			}
-			defer src.Close()
-			smOpts.Source = src
+		if streamSrc != nil {
+			smOpts.Source = streamSrc
 		}
 		res, err = ind.PartialSpiderMerge(cands, smOpts)
 	}
 	if err != nil {
 		return nil, Stats{}, err
 	}
+	res.Stats.CandidatesPruned = sketchStats.Pruned
+	res.Stats.SketchBytes = sketchStats.SketchBytes
 	var out []PartialIND
 	for _, m := range res.Satisfied {
 		out = append(out, PartialIND{

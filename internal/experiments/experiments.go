@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"reflect"
+	"runtime"
 	"sort"
 	"text/tabwriter"
 	"time"
@@ -18,6 +20,7 @@ import (
 	"spider/internal/discovery"
 	"spider/internal/ind"
 	"spider/internal/relstore"
+	"spider/internal/sketch"
 	"spider/internal/valfile"
 )
 
@@ -477,6 +480,16 @@ type AblationResult struct {
 	// SpiderMerge: same I/O optimum, no event machinery (modern path).
 	SpiderMergeDuration time.Duration
 	SpiderMergeItems    int64
+	// Sketch pre-filter (min-hash + bloom) at sound settings: candidate
+	// pairs dropped before the merge, with the satisfied set verified
+	// byte-identical to the unfiltered SpiderMerge run. SketchItems is
+	// the merge I/O over the surviving candidates.
+	SketchCandidatesBefore int
+	SketchCandidatesAfter  int
+	SketchBytes            int64
+	SketchBuildDuration    time.Duration
+	SketchMergeDuration    time.Duration
+	SketchItems            int64
 	// Sharded merge: the value space split S ways, one heap merge per
 	// shard on a worker pool. Satisfied must match SpiderMerge exactly.
 	Sharded []ShardedPoint
@@ -548,6 +561,30 @@ func Ablations(cfg Config) (*AblationResult, error) {
 	}
 	out.SpiderMergeDuration = sm.Stats.Duration
 	out.SpiderMergeItems = smC.Total()
+
+	// Sketch pre-filter at sound settings (definite bloom refutation
+	// only): the pruned candidate set must verify to the byte-identical
+	// satisfied INDs while reading fewer items.
+	sketchStart := time.Now()
+	if err := ind.BuildAttributeSketches(ds.DB, ds.Attrs, sketch.Config{}, runtime.GOMAXPROCS(0)); err != nil {
+		return nil, err
+	}
+	prunedCands, sketchSt := ind.SketchPretest(ds.Candidates, ind.SketchPretestOptions{ExactRefutation: true})
+	out.SketchBuildDuration = time.Since(sketchStart)
+	out.SketchCandidatesBefore = sketchSt.Candidates
+	out.SketchCandidatesAfter = len(prunedCands)
+	out.SketchBytes = sketchSt.SketchBytes
+	var skC valfile.ReadCounter
+	smSketch, err := ind.SpiderMerge(prunedCands, ind.SpiderMergeOptions{Counter: &skC})
+	if err != nil {
+		return nil, err
+	}
+	if !reflect.DeepEqual(smSketch.Satisfied, sm.Satisfied) {
+		return nil, fmt.Errorf("experiments: sketch pre-filter changed results (%d vs %d satisfied)",
+			len(smSketch.Satisfied), len(sm.Satisfied))
+	}
+	out.SketchMergeDuration = smSketch.Stats.Duration
+	out.SketchItems = skC.Total()
 
 	for _, shards := range []int{1, 2, 4} {
 		var c valfile.ReadCounter
@@ -734,6 +771,17 @@ func PrintAblations(w io.Writer, r *AblationResult) {
 		r.SinglePassDuration.Round(time.Millisecond), r.SinglePassItems,
 		r.SinglePassEvents, r.SinglePassComparisons)
 	fmt.Fprintf(w, "  spider-merge: %s for %d items read, zero monitor events\n",
+		r.SpiderMergeDuration.Round(time.Millisecond), r.SpiderMergeItems)
+	fmt.Fprintln(w, "Ablation: sketch pre-filter (min-hash + bloom, sound settings)")
+	reduction := 0.0
+	if r.SketchCandidatesBefore > 0 {
+		reduction = 100 * float64(r.SketchCandidatesBefore-r.SketchCandidatesAfter) / float64(r.SketchCandidatesBefore)
+	}
+	fmt.Fprintf(w, "  candidates %d -> %d (%.1f%% pruned, identical INDs), %d sketch bytes, build %s\n",
+		r.SketchCandidatesBefore, r.SketchCandidatesAfter, reduction,
+		r.SketchBytes, r.SketchBuildDuration.Round(time.Millisecond))
+	fmt.Fprintf(w, "  spider-merge over survivors: %s for %d items read (unfiltered: %s for %d)\n",
+		r.SketchMergeDuration.Round(time.Millisecond), r.SketchItems,
 		r.SpiderMergeDuration.Round(time.Millisecond), r.SpiderMergeItems)
 	fmt.Fprintln(w, "Ablation: sharded spider-merge (one heap merge per value-range shard)")
 	tws := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)

@@ -208,6 +208,23 @@ func TestAblationsShape(t *testing.T) {
 	if len(r.Blocked) != 4 {
 		t.Fatalf("blocked points = %d", len(r.Blocked))
 	}
+	// The sketch pre-filter acceptance bar: ≥ 30% candidate reduction on
+	// the UniProt experiment at sound settings. (Ablations itself fails
+	// if the satisfied INDs are not byte-identical to the unfiltered
+	// run, so this only needs to check the reduction.)
+	if r.SketchCandidatesBefore == 0 {
+		t.Fatal("sketch ablation did not run")
+	}
+	if got := float64(r.SketchCandidatesBefore-r.SketchCandidatesAfter) / float64(r.SketchCandidatesBefore); got < 0.30 {
+		t.Errorf("sketch pre-filter pruned %.1f%% of candidates (%d -> %d), want >= 30%%",
+			100*got, r.SketchCandidatesBefore, r.SketchCandidatesAfter)
+	}
+	if r.SketchItems > r.SpiderMergeItems {
+		t.Errorf("sketch-filtered merge read %d items, unfiltered %d", r.SketchItems, r.SpiderMergeItems)
+	}
+	if r.SketchBytes == 0 {
+		t.Error("sketch bytes not accounted")
+	}
 	if len(r.Sharded) != 3 {
 		t.Fatalf("sharded points = %d", len(r.Sharded))
 	}

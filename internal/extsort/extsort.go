@@ -123,6 +123,16 @@ func (s *Sorter) cleanup() {
 // of distinct values and the maximum value ("" when empty), which the
 // max-value pretest of Sec 4.1 consumes. The Sorter cannot be reused.
 func (s *Sorter) WriteTo(path string) (n int, max string, err error) {
+	return s.WriteToObserved(path, nil)
+}
+
+// WriteToObserved is WriteTo with a tap: observe (may be nil) is called
+// once per distinct value, in sorted order, as it is written. This lets
+// callers derive per-attribute summaries — the sketch pre-filter's KMV
+// and bloom structures — in the same single pass that materializes the
+// value file, touching each distinct value once instead of rescanning
+// the file or the base table.
+func (s *Sorter) WriteToObserved(path string, observe func(string)) (n int, max string, err error) {
 	if s.closed {
 		return 0, "", fmt.Errorf("extsort: WriteTo after finish")
 	}
@@ -132,6 +142,11 @@ func (s *Sorter) WriteTo(path string) (n int, max string, err error) {
 	sortDedup(&s.buf)
 
 	if len(s.runs) == 0 {
+		if observe != nil {
+			for _, v := range s.buf {
+				observe(v)
+			}
+		}
 		n, err = valfile.WriteAll(path, s.buf)
 		if err != nil {
 			return 0, "", err
@@ -168,6 +183,9 @@ func (s *Sorter) WriteTo(path string) (n int, max string, err error) {
 		}
 		if !ok {
 			break
+		}
+		if observe != nil {
+			observe(v)
 		}
 		if err := w.Append(v); err != nil {
 			w.Close()

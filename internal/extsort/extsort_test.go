@@ -386,3 +386,39 @@ func TestFreezeAfterFinish(t *testing.T) {
 		t.Error("Freeze after finish must fail")
 	}
 }
+
+// TestWriteToObserved pins the observer tap: it sees every distinct
+// value exactly once, in sorted order, on both the in-memory and the
+// spilling path, and the written file is unchanged.
+func TestWriteToObserved(t *testing.T) {
+	for _, maxInMem := range []int{4, 1 << 16} { // spilling and in-memory
+		dir := t.TempDir()
+		s := New(Config{TempDir: dir, MaxInMemory: maxInMem})
+		input := []string{"d", "b", "a", "c", "b", "e", "a", "f", "c"}
+		for _, v := range input {
+			if err := s.Add(v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var seen []string
+		path := filepath.Join(dir, "out.val")
+		n, max, err := s.WriteToObserved(path, func(v string) { seen = append(seen, v) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []string{"a", "b", "c", "d", "e", "f"}
+		if !reflect.DeepEqual(seen, want) {
+			t.Errorf("maxInMem=%d: observed %v, want %v", maxInMem, seen, want)
+		}
+		if n != len(want) || max != "f" {
+			t.Errorf("maxInMem=%d: n=%d max=%q", maxInMem, n, max)
+		}
+		got, err := valfile.ReadAll(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("maxInMem=%d: file %v, want %v", maxInMem, got, want)
+		}
+	}
+}

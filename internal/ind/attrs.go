@@ -7,6 +7,7 @@
 package ind
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -16,6 +17,7 @@ import (
 
 	"spider/internal/extsort"
 	"spider/internal/relstore"
+	"spider/internal/sketch"
 	"spider/internal/valfile"
 	"spider/internal/value"
 )
@@ -41,6 +43,11 @@ type Attribute struct {
 	MaxCanonical string
 	// Path is the sorted distinct value file, "" until exported.
 	Path string
+	// Sketch is the attribute's pre-filter summary (KMV signature +
+	// partitioned bloom filter); nil until built by an export with
+	// ExportConfig.Sketches, by LoadSketches, or by
+	// BuildAttributeSketches.
+	Sketch *sketch.Sketch
 }
 
 // String implements fmt.Stringer.
@@ -100,6 +107,16 @@ type ExportConfig struct {
 	// each worker scans its own column and writes its own file — so
 	// extraction scales with cores. Zero or one exports sequentially.
 	Workers int
+	// Sketches additionally builds each attribute's pre-filter sketch
+	// (KMV min-hash signature + partitioned bloom filter) in the same
+	// streaming pass — during the final merge for file exports (each
+	// distinct value observed once), or during the column scan on the
+	// streaming paths. File exports persist the sketch next to the value
+	// file under the sketch.FileSuffix name.
+	Sketches bool
+	// SketchConfig sizes the sketches; the zero value selects the
+	// sketch package defaults.
+	SketchConfig sketch.Config
 }
 
 // ExportAttributes writes each attribute's sorted distinct value file into
@@ -171,14 +188,19 @@ func forEachAttribute(attrs []*Attribute, workers int, fn func(*Attribute) error
 	return firstErr
 }
 
-// exportAttribute extracts, sorts and writes one attribute's value file.
+// exportAttribute extracts, sorts and writes one attribute's value file,
+// deriving and persisting its sketch in the same pass when configured.
 func exportAttribute(db *relstore.Database, a *Attribute, cfg ExportConfig) error {
-	sorter, err := fillSorter(db, a, cfg.Sort)
+	sorter, err := fillSorter(db, a, cfg.Sort, nil)
 	if err != nil {
 		return err
 	}
+	// The sketch taps the final merge rather than the raw column scan:
+	// each distinct value is observed exactly once, so the builder does
+	// per-distinct work instead of per-row work.
+	builder, observe := sketchObserver(cfg, a)
 	path := filepath.Join(cfg.Dir, attrFileName(a))
-	n, max, err := sorter.WriteTo(path)
+	n, max, err := sorter.WriteToObserved(path, observe)
 	if err != nil {
 		return err
 	}
@@ -187,12 +209,42 @@ func exportAttribute(db *relstore.Database, a *Attribute, cfg ExportConfig) erro
 	}
 	a.Path = path
 	a.MaxCanonical = max
+	if builder != nil {
+		a.Sketch = builder.Finish()
+		if err := a.Sketch.WriteFile(path + sketch.FileSuffix); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadSketches fills Attribute.Sketch from the sketch files persisted
+// next to each attribute's exported value file. Attributes without a
+// value file or without a persisted sketch are skipped; a present but
+// unreadable sketch is an error.
+func LoadSketches(attrs []*Attribute) error {
+	for _, a := range attrs {
+		if a.Sketch != nil || a.Path == "" {
+			continue
+		}
+		s, err := sketch.ReadFile(a.Path + sketch.FileSuffix)
+		if err != nil {
+			if errors.Is(err, os.ErrNotExist) {
+				continue
+			}
+			return fmt.Errorf("ind: %s: %w", a.Ref, err)
+		}
+		a.Sketch = s
+	}
 	return nil
 }
 
 // fillSorter pushes the attribute's non-null canonical values through a
-// fresh external sorter.
-func fillSorter(db *relstore.Database, a *Attribute, cfg extsort.Config) (*extsort.Sorter, error) {
+// fresh external sorter. observe (may be nil) additionally receives
+// every scanned canonical value — the raw bag, duplicates included —
+// which is how the streaming paths derive sketches without a second
+// pass (the sketch builder tolerates duplicates).
+func fillSorter(db *relstore.Database, a *Attribute, cfg extsort.Config, observe func(string)) (*extsort.Sorter, error) {
 	t := db.Table(a.Ref.Table)
 	if t == nil {
 		return nil, fmt.Errorf("ind: unknown table %q", a.Ref.Table)
@@ -203,7 +255,11 @@ func fillSorter(db *relstore.Database, a *Attribute, cfg extsort.Config) (*extso
 		if addErr != nil || v.IsNull() {
 			return
 		}
-		addErr = sorter.Add(v.Canonical())
+		c := v.Canonical()
+		if observe != nil {
+			observe(c)
+		}
+		addErr = sorter.Add(c)
 	}); err != nil {
 		return nil, err
 	}
@@ -211,6 +267,16 @@ func fillSorter(db *relstore.Database, a *Attribute, cfg extsort.Config) (*extso
 		return nil, addErr
 	}
 	return sorter, nil
+}
+
+// sketchObserver returns a builder and its observe function when cfg
+// asks for sketches, or (nil, nil) otherwise.
+func sketchObserver(cfg ExportConfig, a *Attribute) (*sketch.Builder, func(string)) {
+	if !cfg.Sketches {
+		return nil, nil
+	}
+	b := sketch.NewBuilder(cfg.SketchConfig, a.Distinct)
+	return b, b.Add
 }
 
 // StreamAttributes loads every attribute's values into an external sorter
@@ -224,9 +290,13 @@ func StreamAttributes(db *relstore.Database, attrs []*Attribute, cfg ExportConfi
 	src := NewSorterSource(counter)
 	var mu sync.Mutex
 	err := forEachAttribute(attrs, cfg.Workers, func(a *Attribute) error {
-		sorter, err := fillSorter(db, a, cfg.Sort)
+		builder, observe := sketchObserver(cfg, a)
+		sorter, err := fillSorter(db, a, cfg.Sort, observe)
 		if err != nil {
 			return err
+		}
+		if builder != nil {
+			a.Sketch = builder.Finish()
 		}
 		mu.Lock()
 		src.Add(a, sorter)
@@ -252,9 +322,13 @@ func StreamAttributesShared(db *relstore.Database, attrs []*Attribute, cfg Expor
 	src := NewRunsSource(counter)
 	var mu sync.Mutex
 	err := forEachAttribute(attrs, cfg.Workers, func(a *Attribute) error {
-		sorter, err := fillSorter(db, a, cfg.Sort)
+		builder, observe := sketchObserver(cfg, a)
+		sorter, err := fillSorter(db, a, cfg.Sort, observe)
 		if err != nil {
 			return err
+		}
+		if builder != nil {
+			a.Sketch = builder.Finish()
 		}
 		runs, err := sorter.Freeze()
 		if err != nil {

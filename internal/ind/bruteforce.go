@@ -22,7 +22,14 @@ type Stats struct {
 	// Inferred counts candidates decided by transitivity, without a test.
 	InferredSatisfied int
 	InferredRefuted   int
-	Duration          time.Duration
+	// CandidatesPruned counts pairs removed by the sketch pre-filter
+	// before the engine ran; SketchBytes is the total size of the
+	// sketches consulted. Both are zero when the pre-filter is off.
+	// They are filled by the callers that run SketchPretest (the
+	// spider package), not by the engines themselves.
+	CandidatesPruned int
+	SketchBytes      int64
+	Duration         time.Duration
 }
 
 // Result is the outcome of an IND discovery run.

@@ -36,6 +36,7 @@ import (
 	"spider/internal/extsort"
 	"spider/internal/ind"
 	"spider/internal/relstore"
+	"spider/internal/sketch"
 	"spider/internal/valfile"
 	"spider/internal/value"
 )
@@ -166,9 +167,36 @@ type Options struct {
 	// MergeWorkers bounds the shard worker pool; 0 selects
 	// min(Shards, GOMAXPROCS).
 	MergeWorkers int
+	// SketchPrefilter enables the per-attribute sketch pre-filter: a
+	// KMV min-hash signature plus a partitioned bloom filter, built for
+	// every attribute in the same streaming pass that extracts its
+	// values, then used to drop candidate pairs before any engine runs.
+	// At default settings the filter is SOUND — a candidate is dropped
+	// only when a sampled dependent value is provably absent from the
+	// referenced attribute (bloom filters have no false negatives) — so
+	// the discovered INDs are identical; only refuted candidates skip
+	// their tests. File-backed runs persist each sketch next to the
+	// attribute's value file.
+	SketchPrefilter bool
+	// SketchMinContainment, in (0, 1], additionally drops candidates
+	// whose sketch-estimated containment |s(a) ∩ s(b)| / |s(a)| falls
+	// below it. APPROXIMATE: a satisfied IND can be lost with small
+	// probability, so this is opt-in. Zero keeps the pre-filter sound.
+	SketchMinContainment float64
+	// SketchK sizes the min-hash signature (0 selects the default, 128
+	// minima = 1 KiB per attribute); SketchBloomBitsPerValue sizes the
+	// bloom filter relative to each attribute's distinct count (0
+	// selects the default 10 bits/value ≈ 1% false positives).
+	SketchK                 int
+	SketchBloomBitsPerValue int
 	// SQLEarlyStop lets ROWNUM stop the embedded engine early — the
 	// behaviour the paper could not obtain from the commercial optimizer.
 	SQLEarlyStop bool
+}
+
+// sketchConfig maps the public sketch knobs onto the package config.
+func (o Options) sketchConfig() sketch.Config {
+	return sketch.Config{K: o.SketchK, BloomBitsPerValue: o.SketchBloomBitsPerValue}
 }
 
 // Stats describes the work a discovery run performed.
@@ -189,6 +217,11 @@ type Stats struct {
 	// Events counts single-pass monitor deliveries (the synchronisation
 	// overhead of Sec 3.3).
 	Events int64
+	// CandidatesPruned counts pairs the sketch pre-filter removed before
+	// verification; SketchBytes is the total size of the sketches
+	// consulted. Both are zero when the pre-filter is off.
+	CandidatesPruned int
+	SketchBytes      int64
 	// Duration is the wall-clock time of the verification phase.
 	Duration time.Duration
 }
@@ -338,6 +371,10 @@ func FindINDs(db *Database, opts Options) (*Result, error) {
 	if opts.Streaming && opts.Algorithm != SpiderMerge {
 		return nil, fmt.Errorf("spider: Streaming requires Algorithm SpiderMerge (cursors are read once)")
 	}
+	if opts.SketchMinContainment < 0 || opts.SketchMinContainment > 1 {
+		// > 1 would silently prune every candidate (estimates cap at 1).
+		return nil, fmt.Errorf("spider: SketchMinContainment must be in [0, 1], got %v", opts.SketchMinContainment)
+	}
 	exportFiles := needsFiles(opts.Algorithm) && !opts.Streaming
 	workDir := opts.WorkDir
 	if exportFiles && workDir == "" {
@@ -353,11 +390,46 @@ func FindINDs(db *Database, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if exportFiles {
-		if err := ind.ExportAttributes(db.rel, attrs, ind.ExportConfig{Dir: workDir, Workers: exportWorkers(opts)}); err != nil {
+
+	// Extraction. Value cursors come from exported files, or — with
+	// Streaming — straight from external-sort spill runs built here,
+	// before candidate generation, so that sketches (derived in the same
+	// extraction pass) exist by the time the pre-filter runs.
+	var counter valfile.ReadCounter
+	exportCfg := ind.ExportConfig{
+		Dir: workDir, Workers: exportWorkers(opts),
+		Sort:     extsort.Config{TempDir: opts.WorkDir},
+		Sketches: opts.SketchPrefilter, SketchConfig: opts.sketchConfig(),
+	}
+	var streamSrc *ind.SorterSource
+	var sharedSrc *ind.RunsSource
+	switch {
+	case exportFiles:
+		if err := ind.ExportAttributes(db.rel, attrs, exportCfg); err != nil {
+			return nil, err
+		}
+	case opts.Streaming && opts.Shards > 1:
+		// Sharded streaming freezes each attribute's sorter into
+		// shareable runs that every shard replays over its own range.
+		sharedSrc, err = ind.StreamAttributesShared(db.rel, attrs, exportCfg, &counter)
+		if err != nil {
+			return nil, err
+		}
+		defer sharedSrc.Close()
+	case opts.Streaming:
+		streamSrc, err = ind.StreamAttributes(db.rel, attrs, exportCfg, &counter)
+		if err != nil {
+			return nil, err
+		}
+		defer streamSrc.Close()
+	case opts.SketchPrefilter:
+		// Engines that never extract value sets (SQL, in-memory,
+		// baselines) still get sketches, from a direct column scan.
+		if err := ind.BuildAttributeSketches(db.rel, attrs, opts.sketchConfig(), exportWorkers(opts)); err != nil {
 			return nil, err
 		}
 	}
+
 	cands, _ := ind.GenerateCandidates(attrs, ind.GenOptions{MaxValuePretest: opts.MaxValuePretest})
 	if opts.SamplingPretest > 0 {
 		var serr error
@@ -368,9 +440,14 @@ func FindINDs(db *Database, opts Options) (*Result, error) {
 			return nil, serr
 		}
 	}
+	var sketchStats ind.SketchPretestStats
+	if opts.SketchPrefilter {
+		cands, sketchStats = ind.SketchPretest(cands, ind.SketchPretestOptions{
+			ExactRefutation: true, MinContainment: opts.SketchMinContainment,
+		})
+	}
 
 	var res *ind.Result
-	var counter valfile.ReadCounter
 	switch opts.Algorithm {
 	case BruteForce:
 		res, err = ind.BruteForce(cands, ind.BruteForceOptions{Counter: &counter, Transitivity: opts.Transitivity})
@@ -387,31 +464,15 @@ func FindINDs(db *Database, opts Options) (*Result, error) {
 			smOpts := ind.ShardedMergeOptions{
 				Counter: &counter, Shards: opts.Shards, Workers: opts.MergeWorkers,
 			}
-			if opts.Streaming {
-				// Sharded streaming freezes each attribute's sorter into
-				// shareable runs that every shard replays over its own range.
-				src, serr := ind.StreamAttributesShared(db.rel, attrs, ind.ExportConfig{
-					Sort: extsort.Config{TempDir: opts.WorkDir}, Workers: exportWorkers(opts),
-				}, &counter)
-				if serr != nil {
-					return nil, serr
-				}
-				defer src.Close()
-				smOpts.Source = src
+			if sharedSrc != nil {
+				smOpts.Source = sharedSrc
 			}
 			res, err = ind.ShardedSpiderMerge(cands, smOpts)
 			break
 		}
 		smOpts := ind.SpiderMergeOptions{Counter: &counter}
-		if opts.Streaming {
-			src, serr := ind.StreamAttributes(db.rel, attrs, ind.ExportConfig{
-				Sort: extsort.Config{TempDir: opts.WorkDir}, Workers: exportWorkers(opts),
-			}, &counter)
-			if serr != nil {
-				return nil, serr
-			}
-			defer src.Close()
-			smOpts.Source = src
+		if streamSrc != nil {
+			smOpts.Source = streamSrc
 		}
 		res, err = ind.SpiderMerge(cands, smOpts)
 	case SQLJoin, SQLMinus, SQLNotIn:
@@ -447,6 +508,8 @@ func FindINDs(db *Database, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	res.Stats.CandidatesPruned = sketchStats.Pruned
+	res.Stats.SketchBytes = sketchStats.SketchBytes
 	return convertResult(res), nil
 }
 
@@ -467,13 +530,15 @@ func needsFiles(a Algorithm) bool {
 // convertStats maps the internal stats onto the public ones.
 func convertStats(st ind.Stats) Stats {
 	return Stats{
-		Candidates:   st.Candidates,
-		Satisfied:    st.Satisfied,
-		ItemsRead:    st.ItemsRead,
-		Comparisons:  st.Comparisons,
-		MaxOpenFiles: st.MaxOpenFiles,
-		Events:       st.Events,
-		Duration:     st.Duration,
+		Candidates:       st.Candidates,
+		Satisfied:        st.Satisfied,
+		ItemsRead:        st.ItemsRead,
+		Comparisons:      st.Comparisons,
+		MaxOpenFiles:     st.MaxOpenFiles,
+		Events:           st.Events,
+		CandidatesPruned: st.CandidatesPruned,
+		SketchBytes:      st.SketchBytes,
+		Duration:         st.Duration,
 	}
 }
 

@@ -319,3 +319,66 @@ func ExampleFindINDs() {
 	// Output:
 	// child.pid ⊆ parent.id
 }
+
+// TestSketchPrefilterIdenticalINDs: with the pre-filter at sound
+// settings, every engine and extraction path must discover exactly the
+// INDs it discovers unfiltered, on a dataset large enough for sketches
+// to actually prune.
+func TestSketchPrefilterIdenticalINDs(t *testing.T) {
+	db := GenerateUniProt(DatasetConfig{Scale: 0.04})
+	baseline, err := FindINDs(db, Options{Algorithm: SpiderMerge})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []Options{
+		{Algorithm: SpiderMerge},
+		{Algorithm: SpiderMerge, Streaming: true},
+		{Algorithm: SpiderMerge, Streaming: true, Shards: 3},
+		{Algorithm: SpiderMerge, Shards: 2},
+		{Algorithm: BruteForce},
+		{Algorithm: SinglePass},
+		{Algorithm: InMemory},
+		{Algorithm: SQLJoin},
+	}
+	for _, opts := range cases {
+		opts.SketchPrefilter = true
+		name := fmt.Sprintf("%v/stream=%v/shards=%d", opts.Algorithm, opts.Streaming, opts.Shards)
+		t.Run(name, func(t *testing.T) {
+			res, err := FindINDs(db, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(res.INDs, baseline.INDs) {
+				t.Errorf("INDs differ from unfiltered run: %d vs %d", len(res.INDs), len(baseline.INDs))
+			}
+			if res.Stats.CandidatesPruned == 0 {
+				t.Error("pre-filter pruned nothing")
+			}
+			if res.Stats.SketchBytes == 0 {
+				t.Error("sketch bytes not reported")
+			}
+			// Tested + pruned must account for the unfiltered candidate set.
+			if got := res.Stats.Candidates + res.Stats.CandidatesPruned; got != baseline.Stats.Candidates {
+				t.Errorf("candidates %d + pruned %d = %d, want %d (unfiltered)",
+					res.Stats.Candidates, res.Stats.CandidatesPruned, got, baseline.Stats.Candidates)
+			}
+		})
+	}
+}
+
+// TestSketchMinContainmentValidation: out-of-range cut-offs (which
+// would silently prune everything) must be rejected up front.
+func TestSketchMinContainmentValidation(t *testing.T) {
+	db := demoDatabase(t)
+	if _, err := FindINDs(db, Options{SketchPrefilter: true, SketchMinContainment: 1.2}); err == nil {
+		t.Error("FindINDs accepted SketchMinContainment > 1")
+	}
+	if _, err := FindINDs(db, Options{SketchPrefilter: true, SketchMinContainment: -0.1}); err == nil {
+		t.Error("FindINDs accepted negative SketchMinContainment")
+	}
+	if _, _, err := FindPartialINDs(db, PartialOptions{
+		Threshold: 0.9, Algorithm: SpiderMerge, SketchPrefilter: true, SketchMinContainment: 1.2,
+	}); err == nil {
+		t.Error("FindPartialINDs accepted SketchMinContainment > 1")
+	}
+}
