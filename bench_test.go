@@ -27,6 +27,7 @@ import (
 	"sync"
 	"testing"
 
+	"spider/internal/datagen"
 	"spider/internal/experiments"
 	"spider/internal/extsort"
 	"spider/internal/ind"
@@ -869,5 +870,139 @@ func BenchmarkSubstrate_SQLJoinQuery(b *testing.B) {
 		if _, err := ind.RunSQL(ds.DB, []ind.Candidate{c}, ind.SQLOptions{Variant: ind.SQLJoin}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- Pipeline saturation: overlapped levels, KMV planning, embedded merge ---
+
+// BenchmarkNaryOverlap isolates the overlapped level schedule: the same
+// merge-backed n-ary run with levels forced strictly one-at-a-time
+// (sequential) vs the default overlap, where independent table-pair
+// groups merge concurrently and the next level's tuple streams are
+// extracted speculatively as each group's verdicts finalize. Workers
+// default to GOMAXPROCS: on a single-core runner the win comes from the
+// smaller per-group heaps alone; with cores the concurrency compounds it.
+func BenchmarkNaryOverlap(b *testing.B) {
+	for _, name := range []string{"uniprot", "scop"} {
+		ds := benchDataset(b, name)
+		for _, mode := range []struct {
+			name string
+			seq  bool
+		}{{"sequential", true}, {"overlap", false}} {
+			b.Run(fmt.Sprintf("%s/%s", name, mode.name), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res, err := ind.DiscoverNary(ds.DB, ind.NaryOptions{
+						MaxArity:         3,
+						Algorithm:        ind.NaryMerge,
+						SequentialLevels: mode.seq,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if i == b.N-1 {
+						b.ReportMetric(float64(len(res.Satisfied)), "nary-INDs")
+						b.ReportMetric(float64(res.Stats.ItemsRead), "items/op")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkKMVShardPlan compares shard boundary planners on the
+// Zipf-skewed key population of datagen.Skewed: min/max planning splits
+// the key span evenly and piles nearly all items into one shard, KMV
+// sample planning splits the estimated value mass. The skew-max/mean
+// metric (1.0 = perfectly even) lands in BENCH_ci.json via the custom
+// metric capture, so the CI bench artifact tracks shard balance.
+func BenchmarkKMVShardPlan(b *testing.B) {
+	db := datagen.Skewed(datagen.SkewedConfig{Seed: 42, Rows: 20000})
+	dir := b.TempDir()
+	attrs, err := ind.Prepare(db, ind.ExportConfig{Dir: dir, Sketches: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var keys []*ind.Attribute
+	for _, a := range attrs {
+		if a.Ref.Column == "id" || a.Ref.Column == "fk" {
+			keys = append(keys, a)
+		}
+	}
+	var cands []ind.Candidate
+	for _, d := range keys {
+		for _, r := range keys {
+			if d != r {
+				cands = append(cands, ind.Candidate{Dep: d, Ref: r})
+			}
+		}
+	}
+	for _, p := range []struct {
+		name    string
+		planner ind.ShardPlanner
+	}{{"minmax", ind.PlannerMinMax}, {"kmv", ind.PlannerKMV}} {
+		b.Run("planner="+p.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := ind.ShardedSpiderMerge(cands, ind.ShardedMergeOptions{
+					Shards: 4, Planner: p.planner,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == b.N-1 {
+					var total, max int64
+					for _, n := range res.Stats.ShardItemsRead {
+						total += n
+						if n > max {
+							max = n
+						}
+					}
+					if total > 0 {
+						mean := float64(total) / float64(len(res.Stats.ShardItemsRead))
+						b.ReportMetric(float64(max)/mean, "skew-max/mean")
+					}
+					b.ReportMetric(float64(total), "items/op")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEmbeddedMerge times embedded-IND discovery (the Sec 7
+// transform extension) with the per-candidate Algorithm 1 reference vs
+// the merge-front engine, which folds every derived value set into one
+// shared (optionally sharded) heap merge and reads each referenced file
+// at most once.
+func BenchmarkEmbeddedMerge(b *testing.B) {
+	ds := benchDataset(b, "uniprot")
+	for _, e := range []struct {
+		name   string
+		algo   ind.EmbeddedEngine
+		shards int
+	}{
+		{"algorithm-one", ind.EmbeddedAlgorithmOne, 0},
+		{"merge", ind.EmbeddedMerge, 0},
+		{"merge-shards=4", ind.EmbeddedMerge, 4},
+	} {
+		b.Run(e.name, func(b *testing.B) {
+			b.ReportAllocs()
+			dir := b.TempDir()
+			for i := 0; i < b.N; i++ {
+				var counter valfile.ReadCounter
+				res, err := ind.FindEmbedded(ds.DB, ds.Attrs, ind.EmbeddedOptions{
+					Dir:       fmt.Sprintf("%s/run%d", dir, i),
+					Counter:   &counter,
+					Algorithm: e.algo,
+					Shards:    e.shards,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == b.N-1 {
+					b.ReportMetric(float64(len(res.Satisfied)), "embedded-INDs")
+					b.ReportMetric(float64(res.Stats.ItemsRead), "items/op")
+				}
+			}
+		})
 	}
 }

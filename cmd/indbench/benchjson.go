@@ -35,6 +35,12 @@ type BenchFile struct {
 type BenchEntry struct {
 	NsPerOp float64 `json:"ns_per_op"`
 	Runs    int64   `json:"runs"`
+	// Metrics holds the benchmark's custom b.ReportMetric values by unit
+	// (e.g. "items/op", "skew-max/mean") plus the standard B/op and
+	// allocs/op when present. Informational: regression gating compares
+	// ns_per_op only, but the trajectory file preserves work counters and
+	// shard-balance metrics for inspection.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // benchSchema versions the JSON format.
@@ -43,7 +49,11 @@ const benchSchema = "spider-bench/v1"
 // benchLine matches standard `go test -bench` result lines, e.g.
 //
 //	BenchmarkTable2_UniProt_BruteForce-8   1   123456 ns/op   22.00 INDs
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op`)
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(.*)$`)
+
+// metricPair matches the trailing "value unit" metric pairs after ns/op,
+// e.g. "22.00 INDs", "1.18 skew-max/mean", "1234 B/op".
+var metricPair = regexp.MustCompile(`([0-9]+(?:\.[0-9]+)?) (\S+)`)
 
 // parseBench reads `go test -bench` output into a BenchFile. Sub-benchmarks
 // run under the same top-level name keep their full slash path.
@@ -65,7 +75,18 @@ func parseBench(r io.Reader) (*BenchFile, error) {
 		if err != nil {
 			return nil, fmt.Errorf("bad ns/op in %q: %w", sc.Text(), err)
 		}
-		out.Benchmarks[name] = BenchEntry{NsPerOp: ns, Runs: runs}
+		entry := BenchEntry{NsPerOp: ns, Runs: runs}
+		for _, pair := range metricPair.FindAllStringSubmatch(m[4], -1) {
+			v, err := strconv.ParseFloat(pair[1], 64)
+			if err != nil {
+				continue
+			}
+			if entry.Metrics == nil {
+				entry.Metrics = map[string]float64{}
+			}
+			entry.Metrics[pair[2]] = v
+		}
+		out.Benchmarks[name] = entry
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err

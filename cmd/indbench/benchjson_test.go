@@ -11,6 +11,7 @@ pkg: spider
 cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
 BenchmarkTable2_UniProt_BruteForce-8   	       1	  84123456 ns/op	        22.00 INDs
 BenchmarkModern_UniProt25/spider-merge-8         	       1	   7000000 ns/op
+BenchmarkKMVShardPlan/planner=kmv-8    	       1	   1418055 ns/op	      1100 items/op	         1.175 skew-max/mean
 BenchmarkTiny-8   	 1000000	      105.0 ns/op
 PASS
 ok  	spider	12.3s
@@ -21,12 +22,22 @@ func TestParseBench(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(f.Benchmarks) != 3 {
-		t.Fatalf("parsed %d benchmarks, want 3", len(f.Benchmarks))
+	if len(f.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(f.Benchmarks))
 	}
 	e, ok := f.Benchmarks["Table2_UniProt_BruteForce"]
 	if !ok || e.NsPerOp != 84123456 || e.Runs != 1 {
 		t.Fatalf("Table2 entry = %+v ok=%v", e, ok)
+	}
+	if e.Metrics["INDs"] != 22 {
+		t.Fatalf("Table2 metrics = %v, want INDs=22", e.Metrics)
+	}
+	kmv := f.Benchmarks["KMVShardPlan/planner=kmv"]
+	if kmv.Metrics["skew-max/mean"] != 1.175 || kmv.Metrics["items/op"] != 1100 {
+		t.Fatalf("KMVShardPlan metrics = %v", kmv.Metrics)
+	}
+	if f.Benchmarks["Modern_UniProt25/spider-merge"].Metrics != nil {
+		t.Fatal("metric map allocated for a line without custom metrics")
 	}
 	if _, ok := f.Benchmarks["Modern_UniProt25/spider-merge"]; !ok {
 		t.Fatal("sub-benchmark path not preserved")

@@ -35,8 +35,11 @@ func main() {
 	streaming := flag.Bool("streaming", false, "stream values from sort spill runs, skipping value files (spider-merge)")
 	shards := flag.Int("shards", 0, "value-range shards merged concurrently (spider-merge; 0/1 = single merge)")
 	mergeWorkers := flag.Int("mergeworkers", 0, "shard worker pool size (0 = min(shards, GOMAXPROCS))")
+	shardPlan := flag.String("shardplan", "auto", "shard boundary planner: auto|minmax|kmv (sharded spider-merge)")
 	partial := flag.Float64("partial", 0, "discover partial INDs at this threshold σ in (0, 1] instead of exact INDs")
 	nary := flag.Int("nary", 0, "also discover n-ary INDs up to this arity (0 = off)")
+	narySequential := flag.Bool("nary-sequential", false, "disable overlapped n-ary levels (spider-merge; run one level at a time)")
+	embedded := flag.Bool("embedded", false, "also discover embedded INDs (transformed values; -algo spider-merge selects the merge-front engine)")
 	workDir := flag.String("workdir", "", "directory for sorted value files (temporary when empty)")
 	sketchOn := flag.Bool("sketch", false, "enable the sketch pre-filter (min-hash + bloom; sound on the exact path)")
 	sketchContainment := flag.Float64("sketch-containment", 0,
@@ -57,6 +60,12 @@ func main() {
 		os.Exit(1)
 	}
 
+	planner, err := parsePlanner(*shardPlan)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "indfind: %v\n", err)
+		os.Exit(1)
+	}
+
 	if *partial > 0 {
 		partials, stats, err := spider.FindPartialINDs(db, spider.PartialOptions{
 			Threshold:               *partial,
@@ -65,6 +74,7 @@ func main() {
 			Streaming:               *streaming,
 			Shards:                  *shards,
 			MergeWorkers:            *mergeWorkers,
+			Planner:                 planner,
 			ExportWorkers:           *exportWorkers,
 			SketchPrefilter:         *sketchOn,
 			SketchMinContainment:    *sketchContainment,
@@ -98,6 +108,7 @@ func main() {
 		Streaming:               *streaming,
 		Shards:                  *shards,
 		MergeWorkers:            *mergeWorkers,
+		Planner:                 planner,
 		SketchPrefilter:         *sketchOn,
 		SketchMinContainment:    *sketchContainment,
 		SketchK:                 *sketchK,
@@ -129,11 +140,18 @@ func main() {
 			Algorithm:     naryAlgo,
 			WorkDir:       *workDir,
 			ExportWorkers: *exportWorkers,
+			// Per-level progress arrives as each level finishes, not after
+			// the whole search: long levels report while later ones run.
+			LevelProgress: func(p spider.NaryLevelProgress) {
+				fmt.Fprintf(os.Stderr, "n-ary arity %d: %d candidates, %d satisfied, %d items read, %s\n",
+					p.Arity, p.Candidates, p.Satisfied, p.ItemsRead, p.Duration.Round(1e6))
+			},
 		}
 		if naryAlgo == spider.SpiderMerge {
 			naryOpts.Streaming = *streaming
 			naryOpts.Shards = *shards
 			naryOpts.MergeWorkers = *mergeWorkers
+			naryOpts.SequentialLevels = *narySequential
 		}
 		naryINDs, naryStats, err := spider.FindNaryINDs(db, naryOpts)
 		if err != nil {
@@ -144,11 +162,6 @@ func main() {
 		for _, d := range naryINDs {
 			fmt.Printf("  %s\n", d)
 		}
-		for arity := 2; arity < len(naryStats.CandidatesByArity); arity++ {
-			fmt.Printf("  arity %d: %d candidates, %d satisfied, %d items read\n",
-				arity, naryStats.CandidatesByArity[arity],
-				naryStats.SatisfiedByArity[arity], naryStats.ItemsReadByArity[arity])
-		}
 		if naryStats.Truncated {
 			fmt.Printf("  truncated at arity %d (candidate cap); lower-arity results are complete\n",
 				naryStats.StoppedAtArity)
@@ -158,6 +171,36 @@ func main() {
 			name = fmt.Sprintf("%s x%d shards", name, *shards)
 		}
 		printStats(naryStats.Stats, name)
+	}
+
+	if *embedded {
+		embAlgo := spider.BruteForce
+		if algorithm == spider.SpiderMerge {
+			embAlgo = spider.SpiderMerge
+		}
+		embOpts := spider.EmbeddedOptions{
+			Algorithm: embAlgo,
+			WorkDir:   *workDir,
+		}
+		if embAlgo == spider.SpiderMerge {
+			embOpts.Shards = *shards
+			embOpts.MergeWorkers = *mergeWorkers
+			embOpts.Planner = planner
+		}
+		embINDs, embStats, err := spider.FindEmbeddedINDsWith(db, embOpts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "indfind: embedded: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nembedded INDs: %d\n", len(embINDs))
+		for _, d := range embINDs {
+			fmt.Printf("  %s\n", d)
+		}
+		name := fmt.Sprintf("embedded %s", embAlgo)
+		if *shards > 1 && embAlgo == spider.SpiderMerge {
+			name = fmt.Sprintf("%s x%d shards", name, *shards)
+		}
+		printStats(embStats, name)
 	}
 }
 
@@ -171,6 +214,36 @@ func printStats(st spider.Stats, approach string) {
 		fmt.Printf("sketch pre-filter: %d candidates pruned, %d sketch bytes\n",
 			st.CandidatesPruned, st.SketchBytes)
 	}
+	if len(st.ShardItemsRead) > 1 {
+		var total, max int64
+		for _, n := range st.ShardItemsRead {
+			total += n
+			if n > max {
+				max = n
+			}
+		}
+		mean := float64(total) / float64(len(st.ShardItemsRead))
+		skew := 0.0
+		if mean > 0 {
+			skew = float64(max) / mean
+		}
+		fmt.Printf("shard plan: %s planner, per-shard items %v, skew max/mean %.2f\n",
+			st.ShardPlanner, st.ShardItemsRead, skew)
+	}
+	if st.ShardPlanFallback != "" {
+		fmt.Printf("shard plan fallback: %s\n", st.ShardPlanFallback)
+	}
+}
+
+func parsePlanner(s string) (spider.ShardPlanner, error) {
+	for _, p := range []spider.ShardPlanner{
+		spider.PlannerAuto, spider.PlannerMinMax, spider.PlannerKMV,
+	} {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown shard planner %q (auto|minmax|kmv)", s)
 }
 
 func openDatabase(csvDir, data string, scale float64, seed int64) (*spider.Database, error) {

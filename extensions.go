@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"time"
 
 	"spider/internal/extsort"
 	"spider/internal/ind"
@@ -53,6 +54,11 @@ type PartialOptions struct {
 	// MergeWorkers bounds the shard worker pool; 0 selects
 	// min(Shards, GOMAXPROCS).
 	MergeWorkers int
+	// Planner selects the shard boundary planning strategy (sharded runs
+	// only); see Options.Planner. KMV planning needs SketchPrefilter (the
+	// samples ride the sketches) and otherwise falls back to min/max with
+	// a note in Stats.ShardPlanFallback.
+	Planner ShardPlanner
 	// ExportWorkers bounds the attribute-export worker pool; 0 selects
 	// GOMAXPROCS, 1 exports sequentially.
 	ExportWorkers int
@@ -168,6 +174,7 @@ func FindPartialINDs(db *Database, opts PartialOptions) ([]PartialIND, Stats, er
 		smOpts := ind.ShardedPartialMergeOptions{
 			Threshold: opts.Threshold, Counter: &counter,
 			Shards: opts.Shards, Workers: opts.MergeWorkers,
+			Planner: opts.Planner.internal(),
 		}
 		if sharedSrc != nil {
 			smOpts.Source = sharedSrc
@@ -264,21 +271,45 @@ type NaryOptions struct {
 	// single-threaded merge. The output is identical at any shard count.
 	Shards int
 	// MergeWorkers bounds the shard worker pool; 0 selects
-	// min(Shards, GOMAXPROCS).
+	// min(Shards, GOMAXPROCS). With overlapped levels (the SpiderMerge
+	// default) it also bounds the concurrent table-pair merge fronts
+	// within a level.
 	MergeWorkers int
 	// ExportWorkers bounds the tuple-extraction worker pool; 0 selects
-	// GOMAXPROCS, 1 extracts sequentially.
+	// GOMAXPROCS, 1 extracts sequentially. With overlapped levels it
+	// also bounds concurrent speculative next-level extractions.
 	ExportWorkers int
+	// SequentialLevels (SpiderMerge only) opts out of the overlapped
+	// pipeline: by default independent table-pair candidate groups are
+	// verified concurrently and the next level's tuple streams are
+	// extracted speculatively while the current level is still merging.
+	// Results are identical either way.
+	SequentialLevels bool
+	// LevelProgress, when non-nil, receives one report per completed
+	// level (including the arity-1 seed) as soon as its verdicts are in.
+	LevelProgress func(NaryLevelProgress)
+}
+
+// NaryLevelProgress is one completed level's summary, delivered to
+// NaryOptions.LevelProgress the moment the level finishes.
+type NaryLevelProgress struct {
+	Arity      int
+	Candidates int
+	Satisfied  int
+	ItemsRead  int64
+	Duration   time.Duration
 }
 
 // NaryStats extends Stats with the levelwise breakdown of an n-ary run.
 type NaryStats struct {
 	Stats
 	// CandidatesByArity / SatisfiedByArity / ItemsReadByArity count per
-	// level (index = arity; entry 1 is the unary seed).
+	// level (index = arity; entry 1 is the unary seed); LevelDurations
+	// holds each level's wall time.
 	CandidatesByArity []int
 	SatisfiedByArity  []int
 	ItemsReadByArity  []int64
+	LevelDurations    []time.Duration
 	// Truncated reports that a level exceeded the candidate cap; the
 	// returned INDs still cover every arity below StoppedAtArity.
 	Truncated      bool
@@ -307,15 +338,28 @@ func FindNaryINDs(db *Database, opts NaryOptions) ([]NaryIND, NaryStats, error) 
 	if engine != ind.NaryMerge && (opts.Streaming || opts.Shards > 1) {
 		return nil, NaryStats{}, fmt.Errorf("spider: Streaming and Shards require Algorithm SpiderMerge")
 	}
-	res, err := ind.DiscoverNary(db.rel, ind.NaryOptions{
-		MaxArity:      opts.MaxArity,
-		Algorithm:     engine,
-		WorkDir:       opts.WorkDir,
-		Streaming:     opts.Streaming,
-		Shards:        opts.Shards,
-		MergeWorkers:  opts.MergeWorkers,
-		ExportWorkers: opts.ExportWorkers,
-	})
+	inOpts := ind.NaryOptions{
+		MaxArity:         opts.MaxArity,
+		Algorithm:        engine,
+		WorkDir:          opts.WorkDir,
+		Streaming:        opts.Streaming,
+		Shards:           opts.Shards,
+		MergeWorkers:     opts.MergeWorkers,
+		ExportWorkers:    opts.ExportWorkers,
+		SequentialLevels: opts.SequentialLevels,
+	}
+	if opts.LevelProgress != nil {
+		inOpts.LevelProgress = func(p ind.LevelProgress) {
+			opts.LevelProgress(NaryLevelProgress{
+				Arity:      p.Arity,
+				Candidates: p.Candidates,
+				Satisfied:  p.Satisfied,
+				ItemsRead:  p.ItemsRead,
+				Duration:   p.Duration,
+			})
+		}
+	}
+	res, err := ind.DiscoverNary(db.rel, inOpts)
 	if err != nil {
 		return nil, NaryStats{}, err
 	}
@@ -338,6 +382,7 @@ func FindNaryINDs(db *Database, opts NaryOptions) ([]NaryIND, NaryStats, error) 
 		CandidatesByArity: res.Stats.CandidatesByArity,
 		SatisfiedByArity:  res.Stats.SatisfiedByArity,
 		ItemsReadByArity:  res.Stats.ItemsReadByArity,
+		LevelDurations:    res.Stats.LevelDurations,
 		Truncated:         res.Truncated,
 		StoppedAtArity:    res.StoppedAtArity,
 	}
@@ -347,21 +392,74 @@ func FindNaryINDs(db *Database, opts NaryOptions) ([]NaryIND, NaryStats, error) 
 	return out, st, nil
 }
 
+// EmbeddedOptions tunes FindEmbeddedINDsWith.
+type EmbeddedOptions struct {
+	// Algorithm selects the engine: BruteForce (the default; one
+	// Algorithm 1 pass per derived candidate, re-reading referenced
+	// files) or SpiderMerge (every derived value set becomes one
+	// synthetic attribute and all candidates are decided in a single —
+	// optionally sharded — heap merge, reading each referenced file at
+	// most once). Results are identical.
+	Algorithm Algorithm
+	// WorkDir receives the exported and derived value files; temporary
+	// when empty.
+	WorkDir string
+	// Shards (SpiderMerge only) partitions the canonical value space
+	// into that many disjoint ranges merged concurrently; 0 or 1 keeps
+	// the single merge.
+	Shards int
+	// MergeWorkers bounds the shard worker pool; 0 selects
+	// min(Shards, GOMAXPROCS).
+	MergeWorkers int
+	// Planner selects the shard boundary planner; see Options.Planner.
+	Planner ShardPlanner
+}
+
 // FindEmbeddedINDs discovers inclusions of embedded values (the paper's
 // "PDB-144f" example) using the standard transforms: after-dash,
 // before-dash and lowercase.
 func FindEmbeddedINDs(db *Database) ([]EmbeddedIND, Stats, error) {
-	tmp, err := os.MkdirTemp("", "spider-embedded-*")
-	if err != nil {
-		return nil, Stats{}, err
+	return FindEmbeddedINDsWith(db, EmbeddedOptions{})
+}
+
+// FindEmbeddedINDsWith is FindEmbeddedINDs with engine control: the
+// merge-front engine folds all derived value sets into one shared heap
+// merge instead of testing them one candidate at a time.
+func FindEmbeddedINDsWith(db *Database, opts EmbeddedOptions) ([]EmbeddedIND, Stats, error) {
+	switch opts.Algorithm {
+	case BruteForce, SpiderMerge:
+	default:
+		return nil, Stats{}, fmt.Errorf("spider: embedded IND discovery supports BruteForce or SpiderMerge, not %v", opts.Algorithm)
 	}
-	defer os.RemoveAll(tmp)
-	attrs, err := ind.Prepare(db.rel, ind.ExportConfig{Dir: tmp})
+	if opts.Shards > 1 && opts.Algorithm != SpiderMerge {
+		return nil, Stats{}, fmt.Errorf("spider: Shards require Algorithm SpiderMerge")
+	}
+	engine := ind.EmbeddedAlgorithmOne
+	if opts.Algorithm == SpiderMerge {
+		engine = ind.EmbeddedMerge
+	}
+	workDir := opts.WorkDir
+	if workDir == "" {
+		tmp, err := os.MkdirTemp("", "spider-embedded-*")
+		if err != nil {
+			return nil, Stats{}, err
+		}
+		defer os.RemoveAll(tmp)
+		workDir = tmp
+	}
+	attrs, err := ind.Prepare(db.rel, ind.ExportConfig{Dir: workDir})
 	if err != nil {
 		return nil, Stats{}, err
 	}
 	var counter valfile.ReadCounter
-	res, err := ind.FindEmbedded(db.rel, attrs, ind.EmbeddedOptions{Dir: tmp + "/derived", Counter: &counter})
+	res, err := ind.FindEmbedded(db.rel, attrs, ind.EmbeddedOptions{
+		Dir:          workDir + "/derived",
+		Counter:      &counter,
+		Algorithm:    engine,
+		Shards:       opts.Shards,
+		MergeWorkers: opts.MergeWorkers,
+		Planner:      opts.Planner.internal(),
+	})
 	if err != nil {
 		return nil, Stats{}, err
 	}

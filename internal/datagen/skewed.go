@@ -1,0 +1,61 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"spider/internal/relstore"
+	"spider/internal/value"
+)
+
+// SkewedConfig tunes Skewed.
+type SkewedConfig struct {
+	Seed int64
+	// Rows per table; default 4000.
+	Rows int
+	// Exponent is the Zipf exponent s > 1 (default 1.3). Larger values
+	// cluster the distinct key population harder at the low end.
+	Exponent float64
+}
+
+// Skewed builds a deliberately key-skewed two-table database for shard
+// planning tests and benchmarks. The key population is Zipf-distributed
+// over a huge index range: almost all distinct keys crowd the low end of
+// the (zero-padded, hence order-preserving) canonical key space while a
+// thin tail of outliers stretches the global [min, max] span far beyond
+// the crowd. Range-blind planners that split the key span evenly
+// therefore put nearly the whole merge into the first shard; planners
+// that sample the actual value mass split it evenly. facts.fk draws from
+// events.id, so fk ⊆ id holds and the merge has real work on both sides.
+func Skewed(cfg SkewedConfig) *relstore.Database {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rows := cfg.Rows
+	if rows <= 0 {
+		rows = 4000
+	}
+	s := cfg.Exponent
+	if s <= 1 {
+		s = 1.3
+	}
+	zipf := rand.NewZipf(rng, s, 1, 1_000_000_000)
+
+	db := relstore.NewDatabase("skewed")
+	events := db.MustCreateTable("events", []relstore.Column{
+		{Name: "id", Kind: value.String},
+		{Name: "payload", Kind: value.String},
+	})
+	ids := make([]string, rows)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("k%010d", zipf.Uint64())
+		events.MustInsert(sv(ids[i]), sv(randWord(rng, 8)))
+	}
+
+	facts := db.MustCreateTable("facts", []relstore.Column{
+		{Name: "fk", Kind: value.String},
+		{Name: "note", Kind: value.String},
+	})
+	for i := 0; i < rows; i++ {
+		facts.MustInsert(sv(ids[rng.Intn(len(ids))]), sv(randWord(rng, 6)))
+	}
+	return db
+}

@@ -9,6 +9,7 @@ package extsort
 
 import (
 	"container/heap"
+	"errors"
 	"fmt"
 	"os"
 	"sort"
@@ -29,7 +30,16 @@ type Config struct {
 	// the paper's single-pass algorithm at 2560 attributes (Sec 4.2).
 	// Zero selects DefaultFanIn.
 	FanIn int
+	// Cancel, when non-nil, makes the sorter abort with ErrCanceled once
+	// the channel is closed. The check runs at every spill and
+	// periodically inside the merge loops, so a speculative sort is
+	// abandoned promptly without finishing its I/O; the caller still runs
+	// Discard to remove any spill runs already written.
+	Cancel <-chan struct{}
 }
+
+// ErrCanceled is returned by sorter operations after Config.Cancel fires.
+var ErrCanceled = errors.New("extsort: canceled")
 
 // DefaultMaxInMemory is the spill threshold when Config.MaxInMemory is 0.
 const DefaultMaxInMemory = 1 << 16
@@ -76,8 +86,24 @@ func (s *Sorter) Add(v string) error {
 // Added returns the number of values pushed so far (with duplicates).
 func (s *Sorter) Added() int64 { return s.added }
 
+// canceled reports whether Config.Cancel has fired.
+func (s *Sorter) canceled() bool {
+	if s.cfg.Cancel == nil {
+		return false
+	}
+	select {
+	case <-s.cfg.Cancel:
+		return true
+	default:
+		return false
+	}
+}
+
 // spill sorts and deduplicates the buffer into a new run file.
 func (s *Sorter) spill() error {
+	if s.canceled() {
+		return ErrCanceled
+	}
 	if len(s.buf) == 0 {
 		return nil
 	}
@@ -138,6 +164,9 @@ func (s *Sorter) WriteToObserved(path string, observe func(string)) (n int, max 
 	}
 	s.closed = true
 	defer s.cleanup()
+	if s.canceled() {
+		return 0, "", ErrCanceled
+	}
 
 	sortDedup(&s.buf)
 
@@ -175,7 +204,12 @@ func (s *Sorter) WriteToObserved(path string, observe func(string)) (n int, max 
 	}
 	defer merge.close()
 
-	for {
+	for out := 0; ; out++ {
+		if out%cancelCheckEvery == 0 && s.canceled() {
+			w.Close()
+			os.Remove(path)
+			return 0, "", ErrCanceled
+		}
 		v, ok, err := merge.nextDistinct()
 		if err != nil {
 			w.Close()
@@ -198,6 +232,11 @@ func (s *Sorter) WriteToObserved(path string, observe func(string)) (n int, max 
 	}
 	return n, merge.lastOut, nil
 }
+
+// cancelCheckEvery is how many merged values pass between cancellation
+// checks inside the merge loops — frequent enough to abandon a
+// speculative sort mid-file, rare enough to stay off the hot path.
+const cancelCheckEvery = 4096
 
 // mergePass merges the first FanIn runs into one new run, shrinking
 // len(s.runs) by FanIn-1 per call.
@@ -223,7 +262,13 @@ func (s *Sorter) mergePass() error {
 		merge.close()
 		return err
 	}
-	for {
+	for out := 0; ; out++ {
+		if out%cancelCheckEvery == 0 && s.canceled() {
+			merge.close()
+			w.Close()
+			os.Remove(outPath)
+			return ErrCanceled
+		}
 		v, ok, err := merge.nextDistinct()
 		if err != nil {
 			merge.close()
@@ -365,6 +410,10 @@ func (s *Sorter) Freeze() (*Runs, error) {
 		return nil, fmt.Errorf("extsort: Freeze after finish")
 	}
 	s.closed = true
+	if s.canceled() {
+		s.cleanup()
+		return nil, ErrCanceled
+	}
 	sortDedup(&s.buf)
 	for len(s.runs) > s.cfg.FanIn {
 		if err := s.mergePass(); err != nil {

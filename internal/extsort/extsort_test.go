@@ -422,3 +422,74 @@ func TestWriteToObserved(t *testing.T) {
 		}
 	}
 }
+
+// TestCancelAbortsSorter: once Config.Cancel fires, spills and finishes
+// fail with ErrCanceled and Discard leaves no run files behind.
+func TestCancelAbortsSorter(t *testing.T) {
+	dir := t.TempDir()
+	cancel := make(chan struct{})
+	s := New(Config{MaxInMemory: 4, TempDir: dir, Cancel: cancel})
+	for i := 0; i < 10; i++ { // spills twice before cancellation
+		if err := s.Add(fmt.Sprintf("v%02d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(cancel)
+	var err error
+	for i := 0; i < 8 && err == nil; i++ {
+		err = s.Add(fmt.Sprintf("w%02d", i)) // next spill must abort
+	}
+	if err != ErrCanceled {
+		t.Fatalf("Add after cancel = %v, want ErrCanceled", err)
+	}
+	s.Discard()
+	assertNoRuns(t, dir)
+
+	// WriteTo and Freeze on freshly canceled sorters abort up front.
+	s2 := New(Config{TempDir: dir, Cancel: cancel})
+	if err := s2.Add("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s2.WriteTo(filepath.Join(dir, "out.val")); err != ErrCanceled {
+		t.Fatalf("WriteTo after cancel = %v, want ErrCanceled", err)
+	}
+	s3 := New(Config{TempDir: dir, Cancel: cancel})
+	if _, err := s3.Freeze(); err != ErrCanceled {
+		t.Fatalf("Freeze after cancel = %v, want ErrCanceled", err)
+	}
+	assertNoRuns(t, dir)
+}
+
+// TestCancelMidMerge: cancellation between spilling and writing aborts
+// the final merge, removes the partial output, and cleans the runs.
+func TestCancelMidMerge(t *testing.T) {
+	dir := t.TempDir()
+	cancel := make(chan struct{})
+	s := New(Config{MaxInMemory: 8, TempDir: dir, Cancel: cancel})
+	for i := 0; i < 100; i++ {
+		if err := s.Add(fmt.Sprintf("v%04d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(cancel)
+	out := filepath.Join(dir, "out.val")
+	if _, _, err := s.WriteTo(out); err != ErrCanceled {
+		t.Fatalf("WriteTo = %v, want ErrCanceled", err)
+	}
+	if _, err := os.Stat(out); !os.IsNotExist(err) {
+		t.Fatalf("canceled merge left output file (stat err %v)", err)
+	}
+	assertNoRuns(t, dir)
+}
+
+// assertNoRuns fails if any extsort spill run survives in dir.
+func assertNoRuns(t *testing.T, dir string) {
+	t.Helper()
+	runs, err := filepath.Glob(filepath.Join(dir, "extsort-run-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 0 {
+		t.Fatalf("leaked spill runs: %v", runs)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 
@@ -18,7 +19,10 @@ import (
 // containing PDB codes as '144f' or as 'PDB-144f'." This file implements
 // that extension: a set of value transforms is applied to dependent
 // attributes, producing derived value sets whose inclusion in the
-// referenced attributes is tested with the ordinary machinery.
+// referenced attributes is tested with the ordinary machinery — either
+// one Algorithm 1 pass per candidate (the reference engine), or all
+// candidates at once on the shared k-way merge front, where each derived
+// set is just one more synthetic attribute in the heap.
 
 // Transform rewrites a value before the inclusion test. Empty results are
 // dropped (they correspond to NULLs).
@@ -69,6 +73,33 @@ func (e EmbeddedIND) String() string {
 	return fmt.Sprintf("%s[%s] ⊆ %s", e.Dep, e.Transform, e.Ref)
 }
 
+// EmbeddedEngine selects the verification engine of FindEmbedded.
+type EmbeddedEngine int
+
+const (
+	// EmbeddedAlgorithmOne tests each derived candidate with its own
+	// Algorithm 1 pass over the two sorted files — the reference engine.
+	// Referenced files are re-read once per candidate.
+	EmbeddedAlgorithmOne EmbeddedEngine = iota
+	// EmbeddedMerge materialises each derived value set as one synthetic
+	// attribute and decides every candidate in a single (optionally
+	// sharded) SpiderMerge heap merge: each referenced file is read at
+	// most once regardless of how many derived sets test against it.
+	EmbeddedMerge
+)
+
+// String names the engine.
+func (e EmbeddedEngine) String() string {
+	switch e {
+	case EmbeddedAlgorithmOne:
+		return "algorithm-one"
+	case EmbeddedMerge:
+		return "merge"
+	default:
+		return fmt.Sprintf("EmbeddedEngine(%d)", int(e))
+	}
+}
+
 // EmbeddedOptions tunes FindEmbedded.
 type EmbeddedOptions struct {
 	// Transforms to try; StandardTransforms() when empty.
@@ -80,6 +111,19 @@ type EmbeddedOptions struct {
 	MinValues int
 	// Counter receives every item read; nil disables external counting.
 	Counter *valfile.ReadCounter
+	// Algorithm selects the engine: EmbeddedAlgorithmOne (the default,
+	// one merge pass per candidate) or EmbeddedMerge (all candidates in
+	// one shared heap merge). Results are identical.
+	Algorithm EmbeddedEngine
+	// Shards (EmbeddedMerge only) partitions the canonical value space
+	// into that many disjoint ranges merged concurrently; 0 or 1 keeps
+	// the single merge. Output is identical at any shard count.
+	Shards int
+	// MergeWorkers bounds the shard worker pool; 0 selects
+	// min(Shards, GOMAXPROCS).
+	MergeWorkers int
+	// Planner (EmbeddedMerge only) selects the shard boundary planner.
+	Planner ShardPlanner
 }
 
 // EmbeddedResult is the outcome of FindEmbedded.
@@ -90,12 +134,35 @@ type EmbeddedResult struct {
 	Stats        Stats
 }
 
+// derivedAttr is one exported (dependent attribute, transform) value set
+// with the synthetic attribute the engines consume.
+type derivedAttr struct {
+	attr      *Attribute
+	orig      relstore.ColumnRef
+	transform string
+}
+
+// derivedRef tags a derived attribute's synthetic identity: the original
+// column name and the transform name joined injectively, so two
+// transforms of one column (or a transform name containing separator
+// bytes) never conflate inside a shared merge.
+func derivedRef(orig relstore.ColumnRef, transform string) relstore.ColumnRef {
+	var b strings.Builder
+	appendEscaped(&b, orig.Column)
+	b.WriteByte(0)
+	appendEscaped(&b, transform)
+	return relstore.ColumnRef{Table: orig.Table, Column: b.String()}
+}
+
 // FindEmbedded tests whether transformed dependent values are included in
 // referenced attributes. Exact INDs (identity transform) are not
 // re-tested; combine with BruteForce for the full picture.
 func FindEmbedded(db *relstore.Database, attrs []*Attribute, opts EmbeddedOptions) (*EmbeddedResult, error) {
 	if opts.Dir == "" {
 		return nil, fmt.Errorf("ind: EmbeddedOptions.Dir is required")
+	}
+	if opts.Shards > 1 && opts.Algorithm != EmbeddedMerge {
+		return nil, fmt.Errorf("ind: Shards require the EmbeddedMerge engine, not %v", opts.Algorithm)
 	}
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, err
@@ -109,17 +176,108 @@ func FindEmbedded(db *relstore.Database, attrs []*Attribute, opts EmbeddedOption
 	start := time.Now()
 	res := &EmbeddedResult{}
 
-	// Derive one synthetic attribute per (dependent attribute, transform)
-	// with a non-trivial result set.
-	type derived struct {
-		attr      *Attribute
-		transform string
+	deriveds, err := deriveAttributes(db, attrs, opts)
+	if err != nil {
+		return nil, err
 	}
-	var deriveds []derived
+	res.DerivedAttrs = len(deriveds)
+
+	// Candidates: derived dependent sets against original referenced
+	// attributes (which must already be exported).
+	type embCand struct {
+		d *derivedAttr
+		r *Attribute
+	}
+	var cands []embCand
+	for i := range deriveds {
+		d := &deriveds[i]
+		for _, r := range attrs {
+			if !r.ReferencedCandidate() || r.Ref == d.orig {
+				continue
+			}
+			if d.attr.Distinct > r.Distinct {
+				continue
+			}
+			if r.Path == "" {
+				return nil, fmt.Errorf("ind: referenced attribute %s not exported", r.Ref)
+			}
+			cands = append(cands, embCand{d: d, r: r})
+		}
+	}
+
+	if opts.Algorithm == EmbeddedMerge {
+		byRef := make(map[relstore.ColumnRef]*derivedAttr, len(deriveds))
+		for i := range deriveds {
+			byRef[deriveds[i].attr.Ref] = &deriveds[i]
+		}
+		pairs := make([]Candidate, len(cands))
+		for i, c := range cands {
+			pairs[i] = Candidate{Dep: c.d.attr, Ref: c.r}
+		}
+		var mres *Result
+		if opts.Shards > 1 {
+			mres, err = ShardedSpiderMerge(pairs, ShardedMergeOptions{
+				Counter: opts.Counter, Shards: opts.Shards,
+				Workers: opts.MergeWorkers, Planner: opts.Planner,
+			})
+		} else {
+			mres, err = SpiderMerge(pairs, SpiderMergeOptions{Counter: opts.Counter})
+		}
+		if err != nil {
+			return nil, err
+		}
+		res.Stats = mres.Stats
+		for _, m := range mres.Satisfied {
+			d := byRef[m.Dep]
+			res.Satisfied = append(res.Satisfied, EmbeddedIND{
+				Dep: d.orig, Transform: d.transform, Ref: m.Ref,
+			})
+		}
+	} else {
+		for _, c := range cands {
+			sat, err := testCandidate(Candidate{Dep: c.d.attr, Ref: c.r}, FileSource{Counter: opts.Counter}, &res.Stats)
+			if err != nil {
+				return nil, err
+			}
+			res.Stats.Candidates++
+			if sat {
+				res.Satisfied = append(res.Satisfied, EmbeddedIND{
+					Dep: c.d.orig, Transform: c.d.transform, Ref: c.r.Ref,
+				})
+			}
+		}
+	}
+	sortEmbedded(res.Satisfied)
+	res.Stats.Satisfied = len(res.Satisfied)
+	res.Stats.ItemsRead = totalRead(opts.Counter)
+	res.Stats.Duration = time.Since(start)
+	return res, nil
+}
+
+// sortEmbedded orders embedded INDs canonically, so both engines emit
+// byte-identical result slices.
+func sortEmbedded(inds []EmbeddedIND) {
+	sort.Slice(inds, func(i, j int) bool {
+		if inds[i].Dep != inds[j].Dep {
+			return inds[i].Dep.String() < inds[j].Dep.String()
+		}
+		if inds[i].Transform != inds[j].Transform {
+			return inds[i].Transform < inds[j].Transform
+		}
+		return inds[i].Ref.String() < inds[j].Ref.String()
+	})
+}
+
+// deriveAttributes exports one sorted distinct value file per (dependent
+// attribute, transform) with a non-trivial result set, returning the
+// synthetic attributes both engines consume. Attribute IDs continue past
+// the originals', so deriveds and originals can share one merge.
+func deriveAttributes(db *relstore.Database, attrs []*Attribute, opts EmbeddedOptions) ([]derivedAttr, error) {
 	nextID := 0
 	for _, a := range attrs {
 		nextID = maxInt(nextID, a.ID+1)
 	}
+	var deriveds []derivedAttr
 	for _, a := range attrs {
 		if !a.DependentCandidate() || a.Kind != value.String {
 			continue
@@ -131,11 +289,15 @@ func FindEmbedded(db *relstore.Database, attrs []*Attribute, opts EmbeddedOption
 		for _, tr := range opts.Transforms {
 			sorter := extsort.New(extsort.Config{TempDir: opts.Dir})
 			var addErr error
+			min, seen := "", false
 			if _, err := tab.ScanColumn(a.Ref.Column, func(v value.Value) {
 				if addErr != nil || v.IsNull() {
 					return
 				}
 				if out := tr.Apply(v.Canonical()); out != "" {
+					if !seen || out < min {
+						min, seen = out, true
+					}
 					addErr = sorter.Add(out)
 				}
 			}); err != nil {
@@ -153,53 +315,24 @@ func FindEmbedded(db *relstore.Database, attrs []*Attribute, opts EmbeddedOption
 				os.Remove(path)
 				continue
 			}
-			deriveds = append(deriveds, derived{
+			deriveds = append(deriveds, derivedAttr{
 				attr: &Attribute{
 					ID:           nextID,
-					Ref:          a.Ref,
+					Ref:          derivedRef(a.Ref, tr.Name),
 					Kind:         a.Kind,
 					NonNull:      n,
 					Distinct:     n,
+					MinCanonical: min,
 					MaxCanonical: max,
 					Path:         path,
 				},
+				orig:      a.Ref,
 				transform: tr.Name,
 			})
 			nextID++
 		}
 	}
-	res.DerivedAttrs = len(deriveds)
-
-	// Candidates: derived dependent sets against original referenced
-	// attributes (which must already be exported).
-	for _, d := range deriveds {
-		for _, r := range attrs {
-			if !r.ReferencedCandidate() || r.Ref == d.attr.Ref {
-				continue
-			}
-			if d.attr.Distinct > r.Distinct {
-				continue
-			}
-			if r.Path == "" {
-				return nil, fmt.Errorf("ind: referenced attribute %s not exported", r.Ref)
-			}
-			c := Candidate{Dep: d.attr, Ref: r}
-			sat, err := testCandidate(c, FileSource{Counter: opts.Counter}, &res.Stats)
-			if err != nil {
-				return nil, err
-			}
-			res.Stats.Candidates++
-			if sat {
-				res.Satisfied = append(res.Satisfied, EmbeddedIND{
-					Dep: d.attr.Ref, Transform: d.transform, Ref: r.Ref,
-				})
-			}
-		}
-	}
-	res.Stats.Satisfied = len(res.Satisfied)
-	res.Stats.ItemsRead = totalRead(opts.Counter)
-	res.Stats.Duration = time.Since(start)
-	return res, nil
+	return deriveds, nil
 }
 
 func maxInt(a, b int) int {

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 
 	"spider/internal/relstore"
@@ -368,4 +369,100 @@ func TestCorruptFileFailsCleanly(t *testing.T) {
 
 func writeCorrupt(path string) error {
 	return os.WriteFile(path, []byte("ok\nbroken\\\n"), 0o644)
+}
+
+// The merge-front embedded engine must agree byte-for-byte with the
+// per-candidate Algorithm 1 reference — same satisfied set in the same
+// canonical order — across shard counts and random databases. Derived
+// sets ride the shared heap merge as synthetic attributes, so this pins
+// the transform-tagged identity encoding (two transforms of one column
+// must never conflate) as well as the verdicts.
+// embedRandomDB plants embedded structure on top of random content:
+// entries.code holds bare codes, xrefs.pdb_ref the same codes behind a
+// "PDB-" prefix (after-dash holds), tags.t the codes with a random
+// suffix after a dash (before-dash holds), and shouty.s uppercased codes
+// (lowercase holds); decoy columns reuse the shapes over a disjoint code
+// pool so refuted candidates exist too.
+func embedRandomDB(seed int64) *relstore.Database {
+	rng := rand.New(rand.NewSource(seed))
+	db := relstore.NewDatabase(fmt.Sprintf("embed%d", seed))
+	codes := make([]string, 12+rng.Intn(10))
+	for i := range codes {
+		codes[i] = fmt.Sprintf("c%d%c", rng.Intn(90), 'a'+byte(rng.Intn(26)))
+	}
+	entries := db.MustCreateTable("entries", []relstore.Column{{Name: "code", Kind: value.String}})
+	for _, c := range codes {
+		entries.MustInsert(value.NewString(c))
+	}
+	xrefs := db.MustCreateTable("xrefs", []relstore.Column{
+		{Name: "pdb_ref", Kind: value.String},
+		{Name: "t", Kind: value.String},
+		{Name: "s", Kind: value.String},
+		{Name: "decoy", Kind: value.String},
+	})
+	for i := 0; i < 10+rng.Intn(15); i++ {
+		c := codes[rng.Intn(len(codes))]
+		xrefs.MustInsert(
+			value.NewString("PDB-"+c),
+			value.NewString(fmt.Sprintf("%s-v%d", c, rng.Intn(4))),
+			value.NewString(strings.ToUpper(c)),
+			value.NewString("ZZ-"+fmt.Sprintf("q%d", rng.Intn(50))),
+		)
+	}
+	return db
+}
+
+func TestFindEmbeddedMergeMatchesAlgorithmOne(t *testing.T) {
+	sawSatisfied := false
+	for seed := int64(0); seed < 8; seed++ {
+		db := randomDB(seed)
+		if seed%2 == 0 {
+			db = embedRandomDB(seed)
+		}
+		dir := t.TempDir()
+		attrs, err := Prepare(db, ExportConfig{Dir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := FindEmbedded(db, attrs, EmbeddedOptions{Dir: filepath.Join(dir, "ref")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(want.Satisfied) > 0 {
+			sawSatisfied = true
+		}
+		for _, shards := range []int{1, 2, 4} {
+			got, err := FindEmbedded(db, attrs, EmbeddedOptions{
+				Dir:       filepath.Join(dir, fmt.Sprintf("m%d", shards)),
+				Algorithm: EmbeddedMerge,
+				Shards:    shards,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got.Satisfied, want.Satisfied) {
+				t.Errorf("seed %d shards %d: engines disagree:\nmerge %v\nref   %v",
+					seed, shards, got.Satisfied, want.Satisfied)
+			}
+			if got.DerivedAttrs != want.DerivedAttrs {
+				t.Errorf("seed %d shards %d: DerivedAttrs %d vs %d",
+					seed, shards, got.DerivedAttrs, want.DerivedAttrs)
+			}
+			if got.Stats.Candidates != want.Stats.Candidates {
+				t.Errorf("seed %d shards %d: Candidates %d vs %d",
+					seed, shards, got.Stats.Candidates, want.Stats.Candidates)
+			}
+		}
+	}
+	if !sawSatisfied {
+		t.Error("property test is vacuous: no seed produced an embedded IND")
+	}
+}
+
+// Sharding without the merge engine must be rejected, mirroring the
+// other engines' option contracts.
+func TestFindEmbeddedShardsRequireMerge(t *testing.T) {
+	if _, err := FindEmbedded(nil, nil, EmbeddedOptions{Dir: "x", Shards: 2}); err == nil {
+		t.Error("Shards without EmbeddedMerge must fail")
+	}
 }

@@ -113,11 +113,40 @@ type NaryOptions struct {
 	// count.
 	Shards int
 	// MergeWorkers bounds the shard worker pool; 0 selects
-	// min(Shards, GOMAXPROCS).
+	// min(Shards, GOMAXPROCS). With overlapped levels (the NaryMerge
+	// default) it also bounds how many independent table-pair merge
+	// fronts run concurrently within a level.
 	MergeWorkers int
 	// ExportWorkers bounds the tuple-extraction worker pool; 0 selects
-	// GOMAXPROCS, 1 extracts sequentially.
+	// GOMAXPROCS, 1 extracts sequentially. With overlapped levels it also
+	// bounds concurrent speculative next-level extractions.
 	ExportWorkers int
+	// SequentialLevels (NaryMerge only) opts out of the overlapped
+	// pipeline: by default each level's independent table-pair candidate
+	// groups are verified as concurrent merge fronts, and the next
+	// level's tuple streams are speculatively extracted while the rest of
+	// the current level is still merging. Output is byte-identical either
+	// way; set SequentialLevels for the strictly level-at-a-time
+	// reference behaviour.
+	SequentialLevels bool
+	// Sort is the base external-sort configuration for tuple extraction
+	// (on-level and speculative); its TempDir defaults to WorkDir. Mainly
+	// a testing hook for forcing tiny spill buffers.
+	Sort extsort.Config
+	// LevelProgress, when non-nil, receives one report per completed
+	// level (including the arity-1 seed) as soon as its verdicts are in,
+	// enabling incremental progress display during long searches.
+	LevelProgress func(LevelProgress)
+}
+
+// LevelProgress is one completed level's summary, delivered to
+// NaryOptions.LevelProgress the moment the level finishes.
+type LevelProgress struct {
+	Arity      int
+	Candidates int
+	Satisfied  int
+	ItemsRead  int64
+	Duration   time.Duration
 }
 
 // NaryStats reports the levelwise search effort.
@@ -132,9 +161,13 @@ type NaryStats struct {
 	// TuplesCompared counts tuple probes: hash-set probes for the
 	// reference engine, merge-front comparisons for the merge engine.
 	TuplesCompared int64
-	// ItemsRead totals ItemsReadByArity.
+	// ItemsRead totals ItemsReadByArity; it is accumulated incrementally
+	// as levels finish, not recomputed at the end.
 	ItemsRead int64
-	Duration  time.Duration
+	// LevelDurations holds per-level wall time (index = arity; entry 0
+	// unused), filled as each level completes.
+	LevelDurations []time.Duration
+	Duration       time.Duration
 }
 
 // NaryResult is the outcome of DiscoverNary: all satisfied INDs of arity
@@ -173,9 +206,12 @@ func (c naryCand) key() string {
 }
 
 // levelVerifier decides one level's candidates in bulk; the verdict slice
-// aligns with cands.
+// aligns with cands. close releases any background resources (the
+// overlapped verifier cancels in-flight speculative extractions); it must
+// be safe to call after an error and more than once.
 type levelVerifier interface {
 	verifyLevel(arity int, cands []naryCand) ([]bool, error)
+	close()
 }
 
 // tupleLevelVerifier adapts the per-candidate tupleVerifier to the
@@ -195,6 +231,8 @@ func (t *tupleLevelVerifier) verifyLevel(arity int, cands []naryCand) ([]bool, e
 	}
 	return out, nil
 }
+
+func (t *tupleLevelVerifier) close() {}
 
 // DiscoverNary performs the levelwise search over db. The unary level is
 // computed internally — unlike the unary discovery of Sec 2 (where
@@ -228,13 +266,36 @@ func DiscoverNary(db *relstore.Database, opts NaryOptions) (*NaryResult, error) 
 	res.Stats.CandidatesByArity = make([]int, opts.MaxArity+1)
 	res.Stats.SatisfiedByArity = make([]int, opts.MaxArity+1)
 	res.Stats.ItemsReadByArity = make([]int64, opts.MaxArity+1)
+	res.Stats.LevelDurations = make([]time.Duration, opts.MaxArity+1)
 
 	verifier := newTupleVerifier(db, &res.Stats)
 	var levels levelVerifier
 	if opts.Algorithm == NaryMerge {
-		levels = &mergeLevelVerifier{db: db, opts: opts, workDir: workDir, stats: &res.Stats}
+		m := &mergeLevelVerifier{db: db, opts: opts, workDir: workDir, stats: &res.Stats}
+		if opts.SequentialLevels {
+			levels = m
+		} else {
+			levels = newOverlapVerifier(m)
+		}
 	} else {
 		levels = &tupleLevelVerifier{v: verifier}
+	}
+	defer levels.close()
+
+	// emitLevel finalises one completed level: per-level wall time, the
+	// incremental ItemsRead total, and the optional progress callback.
+	emitLevel := func(arity int, levelStart time.Time) {
+		res.Stats.LevelDurations[arity] = time.Since(levelStart)
+		res.Stats.ItemsRead += res.Stats.ItemsReadByArity[arity]
+		if opts.LevelProgress != nil {
+			opts.LevelProgress(LevelProgress{
+				Arity:      arity,
+				Candidates: res.Stats.CandidatesByArity[arity],
+				Satisfied:  res.Stats.SatisfiedByArity[arity],
+				ItemsRead:  res.Stats.ItemsReadByArity[arity],
+				Duration:   res.Stats.LevelDurations[arity],
+			})
+		}
 	}
 
 	// Level 1 over all eligible columns.
@@ -254,8 +315,10 @@ func DiscoverNary(db *relstore.Database, opts NaryOptions) (*NaryResult, error) 
 		return nil, err
 	}
 	sort.Slice(current, func(i, j int) bool { return current[i].key() < current[j].key() })
+	emitLevel(1, start)
 
 	for arity := 2; arity <= opts.MaxArity && len(current) > 0; arity++ {
+		levelStart := time.Now()
 		cands := generateLevel(current, satisfiedKeys)
 		res.Stats.CandidatesByArity[arity] = len(cands)
 		if len(cands) > opts.MaxCandidatesPerLevel {
@@ -282,9 +345,7 @@ func DiscoverNary(db *relstore.Database, opts NaryOptions) (*NaryResult, error) 
 			res.Stats.SatisfiedByArity[arity]++
 		}
 		current = next
-	}
-	for _, n := range res.Stats.ItemsReadByArity {
-		res.Stats.ItemsRead += n
+		emitLevel(arity, levelStart)
 	}
 	res.Stats.Duration = time.Since(start)
 	return res, nil

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"spider/internal/extsort"
 	"spider/internal/relstore"
@@ -87,15 +88,41 @@ func listIdent(table string, cols []relstore.ColumnRef) relstore.ColumnRef {
 }
 
 // mergeLevelVerifier verifies one level at a time with the SpiderMerge
-// heap merge over encoded tuple streams.
+// heap merge over encoded tuple streams. The overlapped verifier of
+// naryoverlap.go calls verifyCands concurrently for independent
+// candidate groups, so stats updates are mutex-guarded and value-file
+// names draw from an atomic sequence.
 type mergeLevelVerifier struct {
 	db      *relstore.Database
 	opts    NaryOptions
 	workDir string
 	stats   *NaryStats
+
+	mu   sync.Mutex   // guards stats
+	seq  atomic.Int64 // value-file name sequence, unique across groups
+	spec *speculator  // nil when levels run sequentially
 }
 
 func (m *mergeLevelVerifier) verifyLevel(arity int, cands []naryCand) ([]bool, error) {
+	return m.verifyCands(arity, cands)
+}
+
+func (m *mergeLevelVerifier) close() {}
+
+// sortConfig resolves the base external-sort configuration for tuple
+// extraction; TempDir defaults to the level work directory.
+func (m *mergeLevelVerifier) sortConfig() extsort.Config {
+	cfg := m.opts.Sort
+	if cfg.TempDir == "" {
+		cfg.TempDir = m.workDir
+	}
+	return cfg
+}
+
+// verifyCands decides one group of candidates (the whole level in
+// sequential mode, one table-pair group in overlapped mode) in a single
+// heap merge. Safe for concurrent calls with disjoint candidate groups.
+func (m *mergeLevelVerifier) verifyCands(arity int, cands []naryCand) ([]bool, error) {
 	out := make([]bool, len(cands))
 	if len(cands) == 0 {
 		return out, nil
@@ -140,8 +167,10 @@ func (m *mergeLevelVerifier) verifyLevel(arity int, cands []naryCand) ([]bool, e
 	for i := range cands {
 		out[i] = sat[IND{Dep: pairs[i].Dep.Ref, Ref: pairs[i].Ref.Ref}]
 	}
+	m.mu.Lock()
 	m.stats.ItemsReadByArity[arity] += counter.Total()
 	m.stats.TuplesCompared += res.Stats.Comparisons
+	m.mu.Unlock()
 	return out, nil
 }
 
@@ -150,7 +179,7 @@ func (m *mergeLevelVerifier) verifyLevel(arity int, cands []naryCand) ([]bool, e
 // level's candidates in one SpiderMerge — sharded when requested.
 func (m *mergeLevelVerifier) runMerge(arity int, lists []*tupleList, pairs []Candidate, counter *valfile.ReadCounter) (*Result, error) {
 	workers := naryWorkers(m.opts.ExportWorkers)
-	sortCfg := extsort.Config{TempDir: m.workDir}
+	sortCfg := m.sortConfig()
 	switch {
 	case m.opts.Streaming && m.opts.Shards > 1:
 		// Sharded streaming: freeze each list's sorter into shareable
@@ -159,7 +188,7 @@ func (m *mergeLevelVerifier) runMerge(arity int, lists []*tupleList, pairs []Can
 		defer src.Close()
 		var mu sync.Mutex
 		err := runShards(len(lists), workers, func(i int) error {
-			sorter, err := m.fillTupleSorter(lists[i], sortCfg)
+			sorter, err := m.listSorter(arity, lists[i], sortCfg)
 			if err != nil {
 				return err
 			}
@@ -184,7 +213,7 @@ func (m *mergeLevelVerifier) runMerge(arity int, lists []*tupleList, pairs []Can
 		defer src.Close()
 		var mu sync.Mutex
 		err := runShards(len(lists), workers, func(i int) error {
-			sorter, err := m.fillTupleSorter(lists[i], sortCfg)
+			sorter, err := m.listSorter(arity, lists[i], sortCfg)
 			if err != nil {
 				return err
 			}
@@ -199,7 +228,9 @@ func (m *mergeLevelVerifier) runMerge(arity int, lists []*tupleList, pairs []Can
 		return SpiderMerge(pairs, SpiderMergeOptions{Counter: counter, Source: src})
 	default:
 		// Per-level value files, removed once the level is decided so
-		// disk usage stays bounded by one level.
+		// disk usage stays bounded by one level. Names draw from an
+		// atomic sequence: concurrent groups at the same arity share the
+		// work directory and must never collide.
 		paths := make([]string, len(lists))
 		defer func() {
 			for _, p := range paths {
@@ -209,11 +240,11 @@ func (m *mergeLevelVerifier) runMerge(arity int, lists []*tupleList, pairs []Can
 			}
 		}()
 		err := runShards(len(lists), workers, func(i int) error {
-			sorter, err := m.fillTupleSorter(lists[i], sortCfg)
+			sorter, err := m.listSorter(arity, lists[i], sortCfg)
 			if err != nil {
 				return err
 			}
-			path := filepath.Join(m.workDir, fmt.Sprintf("nary_l%02d_%05d.val", arity, i))
+			path := filepath.Join(m.workDir, fmt.Sprintf("nary_l%02d_%06d.val", arity, m.seq.Add(1)))
 			n, _, err := sorter.WriteTo(path)
 			if err != nil {
 				return err
@@ -235,11 +266,31 @@ func (m *mergeLevelVerifier) runMerge(arity int, lists []*tupleList, pairs []Can
 	}
 }
 
+// listSorter produces the list's sorted tuple stream: a speculative
+// extraction handed over by the overlap pipeline when one finished in
+// time, else a fresh synchronous scan. A handed-over sorter arrives with
+// the extraction-time attribute statistics, copied onto the caller's
+// synthetic attribute.
+func (m *mergeLevelVerifier) listSorter(arity int, l *tupleList, cfg extsort.Config) (*extsort.Sorter, error) {
+	if m.spec != nil {
+		if sorter, attr := m.spec.take(arity, l.table, l.cols); sorter != nil {
+			l.attr.Rows = attr.Rows
+			l.attr.NonNull = attr.NonNull
+			l.attr.Distinct = attr.Distinct
+			l.attr.MinCanonical = attr.MinCanonical
+			l.attr.MaxCanonical = attr.MaxCanonical
+			return sorter, nil
+		}
+	}
+	return m.fillTupleSorter(l, cfg)
+}
+
 // fillTupleSorter scans the list's table once, pushing every NULL-free
 // encoded tuple through a fresh external sorter, and fills the synthetic
 // attribute's statistics (the sharded engine's range pruning reads
 // NonNull/Distinct/Min/Max; Distinct is refined to the exact count when
-// a value file is written).
+// a value file is written). A cancel channel in cfg aborts the scan
+// promptly (speculative extractions are cancelled at level barriers).
 func (m *mergeLevelVerifier) fillTupleSorter(l *tupleList, cfg extsort.Config) (*extsort.Sorter, error) {
 	tab := m.db.Table(l.table)
 	if tab == nil {
@@ -257,6 +308,14 @@ func (m *mergeLevelVerifier) fillTupleSorter(l *tupleList, cfg extsort.Config) (
 	added := 0
 	min, max := "", ""
 	for r := 0; r < tab.RowCount(); r++ {
+		if cfg.Cancel != nil && r%512 == 0 {
+			select {
+			case <-cfg.Cancel:
+				sorter.Discard()
+				return nil, extsort.ErrCanceled
+			default:
+			}
+		}
 		if !encodeTuple(&b, tab.Row(r), idx) {
 			continue
 		}

@@ -1,0 +1,152 @@
+package ind
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"spider/internal/relstore"
+	"spider/internal/value"
+)
+
+// waitGoroutines polls until the goroutine count drops back to the
+// baseline (the runtime needs a moment to retire exiting goroutines).
+func waitGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	for i := 0; i < 200; i++ {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d running, baseline %d", runtime.NumGoroutine(), baseline)
+}
+
+// spillRuns lists leftover external-sort spill files under dir.
+func spillRuns(t *testing.T, dir string) []string {
+	t.Helper()
+	var out []string
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if matched, _ := filepath.Match("extsort-run-*.val", filepath.Base(path)); matched {
+			out = append(out, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// overlapFixtureDB plants a parent table and an exact row-copy child:
+// every k-ary projection of the child is included in the parent, so
+// level 2 survives broadly and level 3's candidate count is
+// combinatorial — guaranteed to blow any small per-level cap while
+// level-3 speculation is already in flight. Column value pools are
+// disjoint, so only position-aligned columns match.
+func overlapFixtureDB() *relstore.Database {
+	db := relstore.NewDatabase("overlapfix")
+	const nCols, nRows = 7, 12
+	mk := func(prefix string) []relstore.Column {
+		cols := make([]relstore.Column, nCols)
+		for i := range cols {
+			cols[i] = relstore.Column{Name: fmt.Sprintf("%s%d", prefix, i), Kind: value.String}
+		}
+		return cols
+	}
+	parent := db.MustCreateTable("parent", mk("c"))
+	child := db.MustCreateTable("child", mk("d"))
+	for r := 0; r < nRows; r++ {
+		row := make([]value.Value, nCols)
+		for c := range row {
+			row[c] = value.NewString(fmt.Sprintf("p%d_%d", c, r%4))
+		}
+		parent.MustInsert(row...)
+		child.MustInsert(row...)
+	}
+	return db
+}
+
+// TestNaryOverlapCancelledSpeculationLeaksNothing drives the overlapped
+// n-ary engine into a level-cap truncation: level 2's finished groups
+// have already launched speculative level-3 tuple extractions (with a
+// tiny in-memory budget, so they spill to disk) when the candidate cap
+// stops the search. The cancelled speculation must leave no goroutine
+// running and no spill file behind, and the truncated result must still
+// be byte-identical to the sequential engine's.
+func TestNaryOverlapCancelledSpeculationLeaksNothing(t *testing.T) {
+	db := overlapFixtureDB()
+	baseline := runtime.NumGoroutine()
+	dir := t.TempDir()
+
+	opts := NaryOptions{
+		Algorithm: NaryMerge,
+		MaxArity:  4,
+		// The 42 two-ary candidates pass (C(7,2) per direction), the 70
+		// three-ary ones do not — truncation lands exactly when level-3
+		// speculation is in flight.
+		MaxCandidatesPerLevel: 50,
+		WorkDir:               dir,
+	}
+	opts.Sort.MaxInMemory = 2 // force every extraction to spill
+	res, err := DiscoverNary(db, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated {
+		t.Fatal("fixture did not truncate; no speculation to cancel")
+	}
+	if res.Stats.SatisfiedByArity[2] == 0 {
+		t.Fatal("no level-2 survivors: speculation never launched, test is vacuous")
+	}
+
+	waitGoroutines(t, baseline)
+	if left := spillRuns(t, dir); len(left) > 0 {
+		t.Errorf("cancelled speculation left %d spill files: %v", len(left), left)
+	}
+
+	seqDir := t.TempDir()
+	seqOpts := opts
+	seqOpts.SequentialLevels = true
+	seqOpts.WorkDir = seqDir
+	seq, err := DiscoverNary(db, seqOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Satisfied, seq.Satisfied) {
+		t.Errorf("overlapped truncated result differs from sequential:\n%v\nvs\n%v",
+			res.Satisfied, seq.Satisfied)
+	}
+}
+
+// TestNaryOverlapConsumedSpeculationLeaksNothing is the complementary
+// run: the search completes normally, so every speculative extraction is
+// either consumed by the next level or cancelled at close(). Afterwards
+// no goroutine and no spill file may remain either.
+func TestNaryOverlapConsumedSpeculationLeaksNothing(t *testing.T) {
+	db := randomNaryDB(1)
+	baseline := runtime.NumGoroutine()
+	dir := t.TempDir()
+
+	opts := NaryOptions{Algorithm: NaryMerge, MaxArity: 3, WorkDir: dir}
+	opts.Sort.MaxInMemory = 2
+	res, err := DiscoverNary(db, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truncated {
+		t.Fatal("fixture unexpectedly truncated")
+	}
+
+	waitGoroutines(t, baseline)
+	if left := spillRuns(t, dir); len(left) > 0 {
+		t.Errorf("consumed speculation left %d spill files: %v", len(left), left)
+	}
+}

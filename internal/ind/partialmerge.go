@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"spider/internal/valfile"
@@ -50,9 +51,12 @@ type ShardedPartialMergeOptions struct {
 	// Workers bounds the shard worker pool; zero selects
 	// min(Shards, GOMAXPROCS).
 	Workers int
-	// Boundaries overrides the sampled shard boundaries, exactly as in
+	// Boundaries overrides the planned shard boundaries, exactly as in
 	// ShardedMergeOptions.
 	Boundaries []string
+	// Planner selects the boundary planning strategy when Boundaries is
+	// nil; see ShardPlanner.
+	Planner ShardPlanner
 }
 
 // PartialSpiderMerge tests every candidate for partial inclusion at the
@@ -99,10 +103,11 @@ func ShardedPartialSpiderMerge(cands []Candidate, opts ShardedPartialMergeOption
 	}
 	start := time.Now()
 	src := rangeSourceOrFiles(opts.Source, opts.Counter)
-	ranges, err := resolveShardRanges(cands, src, opts.Shards, opts.Boundaries)
+	plan, err := resolveShardRanges(cands, src, opts.Shards, opts.Boundaries, opts.Planner)
 	if err != nil {
 		return nil, err
 	}
+	ranges := plan.ranges
 	uniq := dedupCandidates(cands)
 
 	// One independent partial merge per shard, sharing nothing but the
@@ -110,16 +115,20 @@ func ShardedPartialSpiderMerge(cands []Candidate, opts ShardedPartialMergeOption
 	// has no values inside the shard's range contribute zero counts and
 	// skip the merge entirely.
 	perShard := make([]*partialMerge, len(ranges))
+	shardReads := make([]atomic.Int64, len(ranges))
+	shardTimes := make([]time.Duration, len(ranges))
 	err = runShards(len(ranges), opts.Workers, func(i int) error {
+		shardStart := time.Now()
 		shardCands := make([]Candidate, 0, len(uniq))
 		for _, c := range uniq {
 			if !attrOutsideRange(c.Dep, ranges[i]) {
 				shardCands = append(shardCands, c)
 			}
 		}
-		pm := newPartialMerge(shardSource{src: src, bounds: ranges[i]}, opts.Threshold)
+		pm := newPartialMerge(shardSource{src: src, bounds: ranges[i], reads: &shardReads[i]}, opts.Threshold)
 		err := pm.run(shardCands)
 		pm.closeAll()
+		shardTimes[i] = time.Since(shardStart)
 		if err != nil {
 			return err
 		}
@@ -156,6 +165,7 @@ func ShardedPartialSpiderMerge(cands []Candidate, opts ShardedPartialMergeOption
 			res.Satisfied = append(res.Satisfied, m)
 		}
 	}
+	fillShardStats(&res.Stats, plan, shardReads, shardTimes)
 	finishPartialResult(res, len(cands), opts.Counter, start)
 	return res, nil
 }

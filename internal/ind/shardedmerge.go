@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"spider/internal/sketch"
 	"spider/internal/valfile"
 )
 
@@ -24,12 +25,50 @@ type ShardedMergeOptions struct {
 	// Workers bounds the shard worker pool; zero selects
 	// min(Shards, GOMAXPROCS).
 	Workers int
-	// Boundaries overrides the sampled shard boundaries: strictly
+	// Boundaries overrides the planned shard boundaries: strictly
 	// ascending values b_1 < … < b_{S-1}; shard i merges the range
 	// [b_i, b_{i+1}) with b_0 = "" and b_S = +∞. When nil, boundaries are
-	// chosen by sampling attribute min/max values and, where the source
-	// supports it, spill-run fronts.
+	// chosen by Planner.
 	Boundaries []string
+	// Planner selects the boundary planning strategy when Boundaries is
+	// nil; see ShardPlanner.
+	Planner ShardPlanner
+}
+
+// ShardPlanner selects how shard boundaries are chosen when the caller
+// does not supply them explicitly.
+type ShardPlanner int
+
+const (
+	// PlannerAuto plans from the attributes' KMV value samples when every
+	// involved attribute carries one, and falls back to min/max planning
+	// otherwise.
+	PlannerAuto ShardPlanner = iota
+	// PlannerMinMax pools attribute min/max values (plus spill-run fronts
+	// where the source supports sampling) and takes quantiles — equal key
+	// range, blind to value density.
+	PlannerMinMax
+	// PlannerKMV plans from the KMV value samples persisted by the sketch
+	// pre-filter: each attribute's sample is a uniform random draw from
+	// its distinct set, so pooled sample quantiles split the merged value
+	// space into shards of equal estimated mass rather than equal key
+	// range. When samples are missing the run falls back to min/max and
+	// records the fallback in Stats.ShardPlanFallback.
+	PlannerKMV
+)
+
+// String names the planner.
+func (p ShardPlanner) String() string {
+	switch p {
+	case PlannerAuto:
+		return "auto"
+	case PlannerMinMax:
+		return "minmax"
+	case PlannerKMV:
+		return "kmv"
+	default:
+		return fmt.Sprintf("ShardPlanner(%d)", int(p))
+	}
 }
 
 // ShardedSpiderMerge partitions the canonical value space into S disjoint
@@ -45,10 +84,11 @@ type ShardedMergeOptions struct {
 func ShardedSpiderMerge(cands []Candidate, opts ShardedMergeOptions) (*Result, error) {
 	start := time.Now()
 	src := rangeSourceOrFiles(opts.Source, opts.Counter)
-	ranges, err := resolveShardRanges(cands, src, opts.Shards, opts.Boundaries)
+	plan, err := resolveShardRanges(cands, src, opts.Shards, opts.Boundaries, opts.Planner)
 	if err != nil {
 		return nil, err
 	}
+	ranges := plan.ranges
 	uniq := dedupCandidates(cands)
 
 	// Run one independent heap merge per shard. Shards share nothing but
@@ -63,7 +103,10 @@ func ShardedSpiderMerge(cands []Candidate, opts ShardedMergeOptions) (*Result, e
 		auto [][2]int
 	}
 	perShard := make([]shardResult, len(ranges))
+	shardReads := make([]atomic.Int64, len(ranges))
+	shardTimes := make([]time.Duration, len(ranges))
 	err = runShards(len(ranges), opts.Workers, func(i int) error {
+		shardStart := time.Now()
 		shardCands := make([]Candidate, 0, len(uniq))
 		var auto [][2]int
 		for _, c := range uniq {
@@ -73,9 +116,10 @@ func ShardedSpiderMerge(cands []Candidate, opts ShardedMergeOptions) (*Result, e
 				shardCands = append(shardCands, c)
 			}
 		}
-		sm := newSpiderMerge(shardSource{src: src, bounds: ranges[i]})
+		sm := newSpiderMerge(shardSource{src: src, bounds: ranges[i], reads: &shardReads[i]})
 		err := sm.run(shardCands)
 		sm.closeAll()
+		shardTimes[i] = time.Since(shardStart)
 		if err != nil {
 			return err
 		}
@@ -118,9 +162,22 @@ func ShardedSpiderMerge(cands []Candidate, opts ShardedMergeOptions) (*Result, e
 	res.Stats.Candidates = len(cands)
 	res.Stats.Satisfied = len(res.Satisfied)
 	res.Stats.ItemsRead = totalRead(opts.Counter)
+	fillShardStats(&res.Stats, plan, shardReads, shardTimes)
 	res.Stats.Duration = time.Since(start)
 	sortINDs(res.Satisfied)
 	return res, nil
+}
+
+// fillShardStats records the planner verdict and the per-shard skew
+// observability fields on a sharded run's stats.
+func fillShardStats(st *Stats, plan shardPlan, reads []atomic.Int64, times []time.Duration) {
+	st.ShardPlanner = plan.planner
+	st.ShardPlanFallback = plan.fallback
+	st.ShardItemsRead = make([]int64, len(reads))
+	for i := range reads {
+		st.ShardItemsRead[i] = reads[i].Load()
+	}
+	st.ShardDurations = times
 }
 
 // shardSource views a RangeSource through one shard's bounds, giving the
@@ -133,13 +190,35 @@ func ShardedSpiderMerge(cands []Candidate, opts ShardedMergeOptions) (*Result, e
 type shardSource struct {
 	src    RangeSource
 	bounds valfile.Range
+	// reads, when non-nil, tallies the items this shard read — the global
+	// Counter cannot attribute reads to shards once they run concurrently.
+	reads *atomic.Int64
 }
 
 func (s shardSource) Open(a *Attribute) (Cursor, error) {
 	if a.Distinct > 0 && attrOutsideRange(a, s.bounds) {
 		return emptyCursor{}, nil
 	}
-	return s.src.OpenRange(a, s.bounds)
+	cur, err := s.src.OpenRange(a, s.bounds)
+	if err != nil || s.reads == nil {
+		return cur, err
+	}
+	return &tallyCursor{Cursor: cur, reads: s.reads}, nil
+}
+
+// tallyCursor counts delivered values into a per-shard tally on top of
+// whatever global counter the underlying source already feeds.
+type tallyCursor struct {
+	Cursor
+	reads *atomic.Int64
+}
+
+func (c *tallyCursor) Next() (string, bool) {
+	v, ok := c.Cursor.Next()
+	if ok {
+		c.reads.Add(1)
+	}
+	return v, ok
 }
 
 // attrOutsideRange reports whether the attribute's catalog statistics
@@ -162,26 +241,97 @@ func (emptyCursor) Next() (string, bool) { return "", false }
 func (emptyCursor) Err() error           { return nil }
 func (emptyCursor) Close() error         { return nil }
 
-// resolveShardRanges validates (or samples) the shard boundaries and
-// turns them into the S half-open ranges both sharded engines merge over.
-func resolveShardRanges(cands []Candidate, src RangeSource, shards int, boundaries []string) ([]valfile.Range, error) {
+// shardPlan is resolveShardRanges' outcome: the ranges both sharded
+// engines merge over, plus the planner name and any fallback note for
+// Stats — a plan that silently collapsed to fewer shards than requested
+// used to be invisible; now the collapse is recorded.
+type shardPlan struct {
+	ranges   []valfile.Range
+	planner  string
+	fallback string
+}
+
+// resolveShardRanges validates (or plans) the shard boundaries and turns
+// them into the S half-open ranges both sharded engines merge over.
+func resolveShardRanges(cands []Candidate, src RangeSource, shards int, boundaries []string, planner ShardPlanner) (shardPlan, error) {
 	if shards < 1 {
 		shards = 1
 	}
+	plan := shardPlan{planner: "single"}
 	bounds := boundaries
-	if bounds == nil && shards > 1 {
-		var err error
-		bounds, err = shardBoundaries(cands, src, shards)
-		if err != nil {
-			return nil, err
+	switch {
+	case bounds != nil:
+		plan.planner = "explicit"
+	case shards > 1:
+		kmvBounds, haveSamples := kmvBoundaries(cands, shards)
+		switch {
+		case planner != PlannerMinMax && haveSamples:
+			plan.planner = "kmv"
+			bounds = kmvBounds
+			if len(bounds) < shards-1 {
+				plan.fallback = fmt.Sprintf("kmv sample supports only %d of %d shards (skewed or tiny value pool)", len(bounds)+1, shards)
+			}
+		default:
+			if planner == PlannerKMV {
+				plan.fallback = "kmv planning requested but sketch value samples are unavailable; using min/max"
+			}
+			plan.planner = "minmax"
+			var err error
+			bounds, err = shardBoundaries(cands, src, shards)
+			if err != nil {
+				return shardPlan{}, err
+			}
+			if len(bounds) == 0 {
+				// The dedup/quantile path collapses to one shard when the
+				// pooled sample holds at most one distinct value (all
+				// attribute min == max). Record it instead of hiding it.
+				plan.fallback = fmt.Sprintf("boundary sample collapsed: 1 shard instead of %d (≤1 distinct sample value)", shards)
+			}
 		}
 	}
 	for i := 1; i < len(bounds); i++ {
 		if bounds[i] <= bounds[i-1] {
-			return nil, fmt.Errorf("ind: shard boundaries must be strictly ascending, got %q after %q", bounds[i], bounds[i-1])
+			return shardPlan{}, fmt.Errorf("ind: shard boundaries must be strictly ascending, got %q after %q", bounds[i], bounds[i-1])
 		}
 	}
-	return shardRanges(bounds), nil
+	plan.ranges = shardRanges(bounds)
+	return plan, nil
+}
+
+// kmvBoundaries plans equal-estimated-mass boundaries from the involved
+// attributes' KMV value samples. The second return is false when any
+// non-empty attribute lacks a sample (sketches absent, built hash-only,
+// or loaded from the pre-sample disk format) — planning then falls back
+// to min/max rather than mixing calibrated and blind estimates.
+func kmvBoundaries(cands []Candidate, shards int) ([]string, bool) {
+	attrs := make(map[int]*Attribute)
+	for _, c := range cands {
+		attrs[c.Dep.ID] = c.Dep
+		attrs[c.Ref.ID] = c.Ref
+	}
+	ids := make([]int, 0, len(attrs))
+	for id := range attrs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var samples []sketch.WeightedSample
+	for _, id := range ids {
+		a := attrs[id]
+		if a.Distinct <= 0 && a.NonNull <= 0 {
+			continue // empty value set contributes no mass
+		}
+		if a.Sketch == nil || len(a.Sketch.Sample()) == 0 {
+			return nil, false
+		}
+		samples = append(samples, sketch.WeightedSample{
+			Values: a.Sketch.Sample(),
+			Weight: float64(a.Distinct),
+		})
+	}
+	if len(samples) == 0 {
+		return nil, false
+	}
+	return sketch.PlanBoundaries(samples, shards), true
 }
 
 // dedupCandidates drops repeated (dep, ref) pairs: the per-shard merges

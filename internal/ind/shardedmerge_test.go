@@ -6,8 +6,10 @@ import (
 	"reflect"
 	"testing"
 
+	"spider/internal/datagen"
 	"spider/internal/extsort"
 	"spider/internal/relstore"
+	"spider/internal/sketch"
 	"spider/internal/valfile"
 )
 
@@ -188,5 +190,157 @@ func TestShardedSpiderMergeStatsAggregation(t *testing.T) {
 	}
 	if sharded.Stats.Comparisons == 0 && single.Stats.Comparisons > 0 {
 		t.Error("sharded Comparisons not aggregated")
+	}
+}
+
+// TestShardPlannerPropertyAgreement pins the planner axis of the sharded
+// engine: on random databases whose attributes carry KMV value samples,
+// the kmv planner, the minmax planner and the unsharded S=1 run return
+// byte-identical satisfied sets at S ∈ {1, 2, 4, 7}, over both value
+// files and shared spill runs — and Stats faithfully records which
+// planner actually produced the boundaries.
+func TestShardPlannerPropertyAgreement(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			dir := t.TempDir()
+			attrs, sets := randomAttrs(t, rng, dir, 3+rng.Intn(12))
+			for _, a := range attrs {
+				a.Sketch = sketchFromSet(sketch.Config{}, sets[a.ID])
+			}
+			cands := allPairs(attrs)
+			want, err := SpiderMerge(cands, SpiderMergeOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Mirror the engine's sample-availability rule: the generator can
+			// emit an attribute with phantom non-null rows but an empty value
+			// set, whose sketch then has no sample — kmv planning must fall
+			// back to min/max for the whole run rather than guess.
+			haveSamples := false
+			for _, a := range attrs {
+				if a.Distinct <= 0 && a.NonNull <= 0 {
+					continue
+				}
+				if len(a.Sketch.Sample()) == 0 {
+					haveSamples = false
+					break
+				}
+				haveSamples = true
+			}
+
+			for _, shards := range []int{1, 2, 4, 7} {
+				for _, planner := range []ShardPlanner{PlannerAuto, PlannerMinMax, PlannerKMV} {
+					got, err := ShardedSpiderMerge(cands, ShardedMergeOptions{
+						Shards: shards, Planner: planner,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					src := sharedRunsSource(t, rng, dir, attrs, sets)
+					gotStream, err := ShardedSpiderMerge(cands, ShardedMergeOptions{
+						Source: src, Shards: shards, Planner: planner,
+					})
+					src.Close()
+					if err != nil {
+						t.Fatal(err)
+					}
+					for name, res := range map[string]*Result{"files": got, "stream": gotStream} {
+						if !reflect.DeepEqual(res.Satisfied, want.Satisfied) {
+							t.Errorf("S=%d planner=%v %s INDs = %v\nwant %v",
+								shards, planner, name, res.Satisfied, want.Satisfied)
+						}
+						wantName := "single"
+						if shards > 1 {
+							wantName = "minmax"
+							if planner != PlannerMinMax && haveSamples {
+								wantName = "kmv" // auto and kmv both plan from the samples
+							}
+						}
+						if res.Stats.ShardPlanner != wantName {
+							t.Errorf("S=%d planner=%v %s Stats.ShardPlanner = %q, want %q",
+								shards, planner, name, res.Stats.ShardPlanner, wantName)
+						}
+						if shards > 1 && len(res.Stats.ShardItemsRead) == 0 {
+							t.Errorf("S=%d planner=%v %s missing per-shard read tallies", shards, planner, name)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// shardSkew is max/mean of the per-shard item-read tallies: 1.0 is a
+// perfectly even split, S means one shard did all the work.
+func shardSkew(reads []int64) float64 {
+	var total, max int64
+	for _, n := range reads {
+		total += n
+		if n > max {
+			max = n
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(max) / (float64(total) / float64(len(reads)))
+}
+
+// TestKMVPlannerBalancesSkew drives both planners over a Zipf-skewed key
+// population (datagen.Skewed: distinct keys crowd the low end of the key
+// space, outliers stretch the span ~1000x beyond the crowd) and asserts
+// the planning claim itself: min/max planning — equal key range, blind to
+// density — leaves the merge lopsided, while KMV sample planning keeps
+// max/mean per-shard items read under a tight bound. Both runs must still
+// agree on the satisfied set.
+func TestKMVPlannerBalancesSkew(t *testing.T) {
+	db := datagen.Skewed(datagen.SkewedConfig{Seed: 1})
+	dir := t.TempDir()
+	attrs, err := Prepare(db, ExportConfig{Dir: dir, Sketches: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys []*Attribute
+	for _, a := range attrs {
+		if a.Ref.Column == "id" || a.Ref.Column == "fk" {
+			keys = append(keys, a)
+		}
+	}
+	if len(keys) != 2 {
+		t.Fatalf("expected the two key attributes, got %d", len(keys))
+	}
+	cands := allPairs(keys)
+
+	const shards = 4
+	run := func(p ShardPlanner) *Result {
+		t.Helper()
+		res, err := ShardedSpiderMerge(cands, ShardedMergeOptions{Shards: shards, Planner: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	kmv := run(PlannerKMV)
+	mm := run(PlannerMinMax)
+
+	if kmv.Stats.ShardPlanner != "kmv" {
+		t.Fatalf("kmv run planned by %q (fallback: %q)", kmv.Stats.ShardPlanner, kmv.Stats.ShardPlanFallback)
+	}
+	if mm.Stats.ShardPlanner != "minmax" {
+		t.Fatalf("minmax run planned by %q", mm.Stats.ShardPlanner)
+	}
+	if !reflect.DeepEqual(kmv.Satisfied, mm.Satisfied) {
+		t.Fatalf("planners disagree: %v vs %v", kmv.Satisfied, mm.Satisfied)
+	}
+
+	kmvSkew, mmSkew := shardSkew(kmv.Stats.ShardItemsRead), shardSkew(mm.Stats.ShardItemsRead)
+	t.Logf("per-shard items read: kmv %v (skew %.2f), minmax %v (skew %.2f)",
+		kmv.Stats.ShardItemsRead, kmvSkew, mm.Stats.ShardItemsRead, mmSkew)
+	if kmvSkew >= mmSkew {
+		t.Errorf("kmv skew %.2f not better than minmax %.2f", kmvSkew, mmSkew)
+	}
+	if kmvSkew > 1.5 {
+		t.Errorf("kmv skew %.2f exceeds 1.5: sample planning failed to balance the shards", kmvSkew)
 	}
 }

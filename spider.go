@@ -131,6 +131,49 @@ func (a Algorithm) String() string {
 	}
 }
 
+// ShardPlanner selects how sharded merges plan their range boundaries.
+type ShardPlanner int
+
+const (
+	// PlannerAuto (the default) plans boundaries from KMV sketch value
+	// samples when every attribute carries one (equal estimated mass per
+	// shard), and falls back to even min/max splitting otherwise.
+	PlannerAuto ShardPlanner = iota
+	// PlannerMinMax always splits the global min/max key range into
+	// equal-width shards, regardless of the value distribution.
+	PlannerMinMax
+	// PlannerKMV insists on sample-based planning; when samples are
+	// unavailable it still falls back to min/max but records why in
+	// Stats.ShardPlanFallback.
+	PlannerKMV
+)
+
+// String names the planner.
+func (p ShardPlanner) String() string {
+	switch p {
+	case PlannerAuto:
+		return "auto"
+	case PlannerMinMax:
+		return "minmax"
+	case PlannerKMV:
+		return "kmv"
+	default:
+		return fmt.Sprintf("ShardPlanner(%d)", int(p))
+	}
+}
+
+// internal maps the public planner onto the engine enum.
+func (p ShardPlanner) internal() ind.ShardPlanner {
+	switch p {
+	case PlannerMinMax:
+		return ind.PlannerMinMax
+	case PlannerKMV:
+		return ind.PlannerKMV
+	default:
+		return ind.PlannerAuto
+	}
+}
+
 // Options tunes FindINDs.
 type Options struct {
 	// Algorithm defaults to BruteForce.
@@ -167,6 +210,12 @@ type Options struct {
 	// MergeWorkers bounds the shard worker pool; 0 selects
 	// min(Shards, GOMAXPROCS).
 	MergeWorkers int
+	// Planner selects the shard boundary planning strategy (sharded
+	// SpiderMerge only). PlannerAuto balances shards by estimated value
+	// mass using the KMV sketch samples built by SketchPrefilter; without
+	// sketches it splits the min/max key range evenly. The IND output is
+	// identical under every planner — only the per-shard load changes.
+	Planner ShardPlanner
 	// SketchPrefilter enables the per-attribute sketch pre-filter: a
 	// KMV min-hash signature plus a partitioned bloom filter, built for
 	// every attribute in the same streaming pass that extracts its
@@ -222,6 +271,17 @@ type Stats struct {
 	// consulted. Both are zero when the pre-filter is off.
 	CandidatesPruned int
 	SketchBytes      int64
+	// Sharded-run observability (empty on unsharded runs). ShardPlanner
+	// names the boundary strategy that actually ran ("explicit", "kmv",
+	// "minmax", "single"); ShardPlanFallback records why a requested
+	// strategy degraded — e.g. KMV samples absent, or the boundary sample
+	// collapsing the run to one shard — instead of hiding the collapse.
+	// ShardItemsRead and ShardDurations break the merge work down per
+	// shard, so load skew is measurable.
+	ShardPlanner      string
+	ShardPlanFallback string
+	ShardItemsRead    []int64
+	ShardDurations    []time.Duration
 	// Duration is the wall-clock time of the verification phase.
 	Duration time.Duration
 }
@@ -463,6 +523,7 @@ func FindINDs(db *Database, opts Options) (*Result, error) {
 		if opts.Shards > 1 {
 			smOpts := ind.ShardedMergeOptions{
 				Counter: &counter, Shards: opts.Shards, Workers: opts.MergeWorkers,
+				Planner: opts.Planner.internal(),
 			}
 			if sharedSrc != nil {
 				smOpts.Source = sharedSrc
@@ -530,15 +591,19 @@ func needsFiles(a Algorithm) bool {
 // convertStats maps the internal stats onto the public ones.
 func convertStats(st ind.Stats) Stats {
 	return Stats{
-		Candidates:       st.Candidates,
-		Satisfied:        st.Satisfied,
-		ItemsRead:        st.ItemsRead,
-		Comparisons:      st.Comparisons,
-		MaxOpenFiles:     st.MaxOpenFiles,
-		Events:           st.Events,
-		CandidatesPruned: st.CandidatesPruned,
-		SketchBytes:      st.SketchBytes,
-		Duration:         st.Duration,
+		Candidates:        st.Candidates,
+		Satisfied:         st.Satisfied,
+		ItemsRead:         st.ItemsRead,
+		Comparisons:       st.Comparisons,
+		MaxOpenFiles:      st.MaxOpenFiles,
+		Events:            st.Events,
+		CandidatesPruned:  st.CandidatesPruned,
+		SketchBytes:       st.SketchBytes,
+		ShardPlanner:      st.ShardPlanner,
+		ShardPlanFallback: st.ShardPlanFallback,
+		ShardItemsRead:    st.ShardItemsRead,
+		ShardDurations:    st.ShardDurations,
+		Duration:          st.Duration,
 	}
 }
 
