@@ -1,0 +1,19 @@
+// Command indlint is the repo's invariant multichecker: five
+// type-aware analyzers that mechanically enforce the merge-engine
+// contracts (see internal/analyzers). It runs two ways:
+//
+//	go run ./cmd/indlint ./...                   # standalone source mode
+//	go vet -vettool=$(command -v indlint) ./...  # as a vet tool
+//
+// Individual analyzers toggle with -cursorclose=false etc.; findings are
+// suppressed only by a justified //lint:indlint-ignore <reason> comment.
+package main
+
+import (
+	"spider/internal/analyzers"
+	"spider/internal/analyzers/framework"
+)
+
+func main() {
+	framework.Main(analyzers.All()...)
+}

@@ -1,0 +1,40 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"spider/internal/analyzers"
+	"spider/internal/analyzers/framework/analysistest"
+)
+
+func TestCursorClose(t *testing.T) {
+	analysistest.Run(t, "testdata/cursorclose", analyzers.CursorClose, "cursortest")
+}
+
+func TestNilCounter(t *testing.T) {
+	analysistest.Run(t, "testdata/nilcounter", analyzers.NilCounter,
+		"spider/internal/ind", "other")
+}
+
+func TestTupleEncode(t *testing.T) {
+	analysistest.Run(t, "testdata/tupleencode", analyzers.TupleEncode,
+		"spider/internal/ind", "other")
+}
+
+func TestStatsTrailer(t *testing.T) {
+	analysistest.Run(t, "testdata/statstrailer", analyzers.StatsTrailer,
+		"spider/internal/ind")
+}
+
+func TestCancelLeak(t *testing.T) {
+	analysistest.Run(t, "testdata/cancelleak", analyzers.CancelLeak,
+		"spider/internal/ind")
+}
+
+// TestIgnoreDirective runs a live analyzer over a fixture whose
+// violations are suppressed by both directive placement forms; the
+// undirected control case must still be reported.
+func TestIgnoreDirective(t *testing.T) {
+	analysistest.Run(t, "testdata/ignore", analyzers.TupleEncode,
+		"spider/internal/ind")
+}

@@ -1,0 +1,106 @@
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// IgnoreDirective is the one escape hatch from the indlint suite. It is
+// deliberately narrow: the directive must carry a reason arguing why the
+// finding is a false positive, and a reasonless directive never
+// suppresses — it is itself reported, so a drive-by "shut the linter up"
+// comment cannot silently lower the floor.
+//
+//	r := mustOpen() //lint:indlint-ignore closed by the caller via telemetry sink
+const IgnoreDirective = "indlint-ignore"
+
+const directivePrefix = "lint:" + IgnoreDirective
+
+// A Directive is one parsed //lint:indlint-ignore comment.
+type Directive struct {
+	Pos    token.Pos
+	Line   int    // line the comment appears on
+	Reason string // empty means malformed
+}
+
+// ParseDirectives extracts every indlint-ignore directive from the
+// file's comments. Malformed directives (no reason) are returned too;
+// ApplyIgnores turns them into diagnostics instead of suppressions.
+func ParseDirectives(file *ast.File, fset *token.FileSet) []Directive {
+	var out []Directive
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text, ok := directiveText(c.Text)
+			if !ok {
+				continue
+			}
+			out = append(out, Directive{
+				Pos:    c.Pos(),
+				Line:   fset.Position(c.Pos()).Line,
+				Reason: text,
+			})
+		}
+	}
+	return out
+}
+
+// directiveText reports whether the raw comment is an indlint-ignore
+// directive and returns its trimmed reason. Only //-style comments
+// qualify — a directive buried in a /* */ block is not a directive.
+func directiveText(raw string) (reason string, ok bool) {
+	body, isLine := strings.CutPrefix(raw, "//")
+	if !isLine {
+		return "", false
+	}
+	// The canonical spelling is flush ("//lint:"), matching Go directive
+	// convention, but a spaced "// lint:" is accepted rather than
+	// silently ignored.
+	body = strings.TrimSpace(body)
+	rest, isDirective := strings.CutPrefix(body, directivePrefix)
+	if !isDirective {
+		return "", false
+	}
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", false // e.g. lint:indlint-ignoreXYZ — a different word
+	}
+	return strings.TrimSpace(rest), true
+}
+
+// ApplyIgnores filters diags through the files' ignore directives. A
+// well-formed directive suppresses diagnostics on its own line (trailing
+// comment) and on the following line (comment-above style). A malformed
+// directive suppresses nothing and is reported as a diagnostic in its
+// own right, attributed to the pseudo-analyzer "ignore".
+func ApplyIgnores(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+	type lineKey struct {
+		file string
+		line int
+	}
+	suppressed := make(map[lineKey]bool)
+	var out []Diagnostic
+	for _, f := range files {
+		for _, d := range ParseDirectives(f, fset) {
+			pos := fset.Position(d.Pos)
+			if d.Reason == "" {
+				out = append(out, Diagnostic{
+					Analyzer: "ignore",
+					Pos:      d.Pos,
+					Message:  "indlint-ignore directive is missing a reason; it suppresses nothing (write //lint:indlint-ignore <why this is a false positive>)",
+				})
+				continue
+			}
+			suppressed[lineKey{pos.Filename, d.Line}] = true
+			suppressed[lineKey{pos.Filename, d.Line + 1}] = true
+		}
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if suppressed[lineKey{pos.Filename, pos.Line}] {
+			continue
+		}
+		out = append(out, d)
+	}
+	sortDiagnostics(fset, out)
+	return out
+}

@@ -1,0 +1,122 @@
+package framework
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseFixture(t *testing.T, src string) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parsing fixture: %v", err)
+	}
+	return fset, f
+}
+
+func TestParseDirectives(t *testing.T) {
+	src := `package p
+
+//lint:indlint-ignore flush form with a reason
+var a int
+
+// lint:indlint-ignore spaced form with a reason
+var b int
+
+//lint:indlint-ignore
+var c int
+
+//lint:indlint-ignoreXYZ not a directive, a longer word
+var d int
+
+/*lint:indlint-ignore block comments are not directives*/
+var e int
+
+// plain comment
+var f int
+`
+	fset, f := parseFixture(t, src)
+	got := ParseDirectives(f, fset)
+	want := []struct {
+		line   int
+		reason string
+	}{
+		{3, "flush form with a reason"},
+		{6, "spaced form with a reason"},
+		{9, ""},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("ParseDirectives returned %d directives, want %d: %+v", len(got), len(want), got)
+	}
+	for i, w := range want {
+		if got[i].Line != w.line || got[i].Reason != w.reason {
+			t.Errorf("directive %d = line %d reason %q, want line %d reason %q",
+				i, got[i].Line, got[i].Reason, w.line, w.reason)
+		}
+	}
+}
+
+// diagAtLine fabricates a diagnostic positioned at the start of a line.
+func diagAtLine(fset *token.FileSet, f *ast.File, line int, msg string) Diagnostic {
+	return Diagnostic{
+		Analyzer: "test",
+		Pos:      fset.File(f.Pos()).LineStart(line),
+		Message:  msg,
+	}
+}
+
+func TestApplyIgnoresHonored(t *testing.T) {
+	src := `package p
+
+//lint:indlint-ignore justified: fixture exercises suppression
+var a int
+
+var b int
+`
+	fset, f := parseFixture(t, src)
+	diags := []Diagnostic{
+		diagAtLine(fset, f, 3, "on the directive line"),
+		diagAtLine(fset, f, 4, "on the following line"),
+		diagAtLine(fset, f, 6, "two lines down: out of the directive's reach"),
+	}
+	got := ApplyIgnores(fset, []*ast.File{f}, diags)
+	if len(got) != 1 {
+		t.Fatalf("ApplyIgnores kept %d diagnostics, want 1: %+v", len(got), got)
+	}
+	if !strings.Contains(got[0].Message, "out of the directive's reach") {
+		t.Errorf("surviving diagnostic = %q, want the line-5 one", got[0].Message)
+	}
+}
+
+func TestApplyIgnoresMalformed(t *testing.T) {
+	src := `package p
+
+//lint:indlint-ignore
+var a int
+`
+	fset, f := parseFixture(t, src)
+	diags := []Diagnostic{diagAtLine(fset, f, 4, "violation under a reasonless directive")}
+	got := ApplyIgnores(fset, []*ast.File{f}, diags)
+	if len(got) != 2 {
+		t.Fatalf("ApplyIgnores returned %d diagnostics, want 2 (violation + ignore report): %+v", len(got), got)
+	}
+	var sawIgnore, sawViolation bool
+	for _, d := range got {
+		if d.Analyzer == "ignore" && strings.Contains(d.Message, "missing a reason") {
+			sawIgnore = true
+		}
+		if d.Message == "violation under a reasonless directive" {
+			sawViolation = true
+		}
+	}
+	if !sawIgnore {
+		t.Errorf("reasonless directive was not reported: %+v", got)
+	}
+	if !sawViolation {
+		t.Errorf("reasonless directive suppressed the violation: %+v", got)
+	}
+}

@@ -1,0 +1,139 @@
+// Package framework is a self-contained miniature of
+// golang.org/x/tools/go/analysis: just enough driver machinery to write
+// type-aware analyzers against the standard library only. The repo
+// builds offline with an empty module cache, so vendoring x/tools is not
+// an option; this package supplies the same three pieces a vet-style
+// suite needs — an Analyzer/Pass/Diagnostic vocabulary, a source-mode
+// loader driven by `go list`, and the `go vet -vettool` unitchecker
+// protocol (-V=full / -flags / unit.cfg) — in a few hundred lines.
+//
+// Analyzers written against it are intra-package and fact-free: each Run
+// sees one type-checked package and reports diagnostics. That is
+// exactly the shape of the indlint invariant checks (see package
+// spider/internal/analyzers).
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one analysis pass and its entry point.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -NAME enable flags.
+	// It must be a valid identifier.
+	Name string
+	// Doc is the help text; the first line is a one-sentence summary.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// A Pass presents one type-checked package to an Analyzer's Run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File // parsed with comments, _test.go files excluded
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, positioned in the shared FileSet.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Pos
+	Message  string
+}
+
+// Validate rejects analyzer lists that would confuse the drivers.
+func Validate(analyzers []*Analyzer) error {
+	seen := make(map[string]bool)
+	for _, a := range analyzers {
+		switch {
+		case a == nil:
+			return fmt.Errorf("framework: nil analyzer")
+		case a.Name == "" || a.Run == nil:
+			return fmt.Errorf("framework: analyzer %q lacks a name or run function", a.Name)
+		case seen[a.Name]:
+			return fmt.Errorf("framework: duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	return nil
+}
+
+// RunPackage applies the analyzers to one already type-checked package.
+// It is the hook the drivers and analysistest share; callers usually
+// want ApplyIgnores on the result.
+func RunPackage(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	return runAnalyzers(analyzers, fset, files, pkg, info)
+}
+
+// runAnalyzers applies every analyzer to one package and returns the
+// diagnostics sorted by position. An analyzer error aborts the run: a
+// broken invariant checker must fail the build loudly, not silently
+// check nothing.
+func runAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	sortDiagnostics(fset, diags)
+	return diags, nil
+}
+
+func sortDiagnostics(fset *token.FileSet, diags []Diagnostic) {
+	// Sort by file name then offset so output is stable across runs and
+	// analyzer order.
+	posLess := func(a, b Diagnostic) bool {
+		pa, pb := fset.Position(a.Pos), fset.Position(b.Pos)
+		if pa.Filename != pb.Filename {
+			return pa.Filename < pb.Filename
+		}
+		if pa.Offset != pb.Offset {
+			return pa.Offset < pb.Offset
+		}
+		return a.Analyzer < b.Analyzer
+	}
+	for i := 1; i < len(diags); i++ {
+		for j := i; j > 0 && posLess(diags[j], diags[j-1]); j-- {
+			diags[j], diags[j-1] = diags[j-1], diags[j]
+		}
+	}
+}
+
+// newTypesInfo allocates every map an analyzer might consult.
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+}

@@ -1,0 +1,159 @@
+package framework
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// A CheckedPackage is one type-checked module package ready for
+// analysis.
+type CheckedPackage struct {
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader needs.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// LoadPackages loads, parses and type-checks the module packages named
+// by patterns (plus their intra-module dependencies), resolving package
+// metadata with `go list -deps -json` and standard-library imports from
+// GOROOT source. Only non-dependency packages (the ones the patterns
+// named) are returned for analysis; _test.go files are not loaded — the
+// invariants target engine code, and vet-style suites run on package
+// sources.
+func LoadPackages(dir string, patterns []string) ([]*CheckedPackage, error) {
+	pkgs, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	// Standard-library imports are type-checked from GOROOT source: this
+	// toolchain ships no pre-built export data, and the module cache may
+	// be empty. Cgo is disabled so packages with cgo fallbacks (net,
+	// os/user) resolve to their pure-Go variants.
+	build.Default.CgoEnabled = false
+	std := importer.ForCompiler(fset, "source", nil)
+
+	checked := make(map[string]*types.Package)
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		if p, ok := checked[path]; ok {
+			return p, nil
+		}
+		return std.Import(path)
+	})
+
+	var out []*CheckedPackage
+	// `go list -deps` emits dependencies before dependents, so every
+	// intra-module import is checked by the time it is needed.
+	for _, lp := range pkgs {
+		if lp.Standard {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		var files []*ast.File
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		info := newTypesInfo()
+		conf := &types.Config{Importer: imp}
+		pkg, err := conf.Check(lp.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %w", lp.ImportPath, err)
+		}
+		checked[lp.ImportPath] = pkg
+		if !lp.DepOnly {
+			out = append(out, &CheckedPackage{
+				ImportPath: lp.ImportPath,
+				Fset:       fset,
+				Files:      files,
+				Pkg:        pkg,
+				Info:       info,
+			})
+		}
+	}
+	return out, nil
+}
+
+// RunSource runs the analyzers over the packages matched by patterns in
+// module directory dir, returning directive-filtered diagnostics.
+func RunSource(analyzers []*Analyzer, dir string, patterns []string) ([]Diagnostic, *token.FileSet, error) {
+	pkgs, err := LoadPackages(dir, patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+	var all []Diagnostic
+	var fset *token.FileSet
+	for _, cp := range pkgs {
+		fset = cp.Fset
+		diags, err := runAnalyzers(analyzers, cp.Fset, cp.Files, cp.Pkg, cp.Info)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", cp.ImportPath, err)
+		}
+		all = append(all, ApplyIgnores(cp.Fset, cp.Files, diags)...)
+	}
+	return all, fset, nil
+}
+
+func goList(dir string, patterns []string) ([]*listPkg, error) {
+	args := append([]string{"list", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(&stdout)
+	for {
+		lp := new(listPkg)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, lp)
+	}
+	return pkgs, nil
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,189 @@
+package framework
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Main is the entry point of a multichecker binary over the given
+// analyzers. It speaks both dialects:
+//
+//   - `go vet -vettool=<binary> ./...` — cmd/go probes the tool with
+//     -V=full (build-cache key) and -flags (flag discovery), then invokes
+//     it once per compilation unit with a unit.cfg file; and
+//   - `<binary> [packages]` — standalone source mode, loading packages
+//     via `go list` from the current directory ("./..." by default).
+//
+// Individual analyzers can be selected with -<name> / -<name>=false,
+// matching x/tools multichecker semantics.
+func Main(analyzers ...*Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	log.SetFlags(0)
+	log.SetPrefix(progname + ": ")
+	if err := Validate(analyzers); err != nil {
+		log.Fatal(err)
+	}
+
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [-NAME=false|true]... [package|unit.cfg]...\n\nRegistered analyzers:\n", progname)
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, firstLine(a.Doc))
+		}
+		os.Exit(2)
+	}
+
+	flag.Var(versionFlag{}, "V", "print version and exit (-V=full for go vet)")
+	printflags := flag.Bool("flags", false, "print analyzer flags in JSON (for go vet)")
+	enabled := make(map[string]*triBool, len(analyzers))
+	for _, a := range analyzers {
+		t := new(triBool)
+		flag.Var(t, a.Name, "enable "+a.Name+" analysis")
+		enabled[a.Name] = t
+	}
+	flag.Parse()
+
+	if *printflags {
+		printFlags()
+		os.Exit(0)
+	}
+
+	selected := selectAnalyzers(analyzers, enabled)
+	args := flag.Args()
+
+	// go vet protocol: a single *.cfg argument describes one unit.
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		n, err := RunUnitchecker(os.Stderr, args[0], selected)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if n > 0 {
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+
+	// Standalone source mode.
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, fset, err := RunSource(selected, ".", patterns)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+// selectAnalyzers applies -NAME flags: if any analyzer was explicitly
+// enabled, run exactly the enabled set; otherwise run everything not
+// explicitly disabled.
+func selectAnalyzers(analyzers []*Analyzer, enabled map[string]*triBool) []*Analyzer {
+	anyTrue := false
+	for _, t := range enabled {
+		if t.set && t.value {
+			anyTrue = true
+		}
+	}
+	var keep []*Analyzer
+	for _, a := range analyzers {
+		t := enabled[a.Name]
+		if anyTrue {
+			if t.set && t.value {
+				keep = append(keep, a)
+			}
+		} else if !t.set || t.value {
+			keep = append(keep, a)
+		}
+	}
+	return keep
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// triBool is a bool flag that remembers whether it was set at all.
+type triBool struct {
+	set   bool
+	value bool
+}
+
+func (t *triBool) IsBoolFlag() bool { return true }
+func (t *triBool) String() string   { return fmt.Sprint(t.value) }
+func (t *triBool) Set(s string) error {
+	t.set = true
+	switch s {
+	case "true", "":
+		t.value = true
+	case "false":
+		t.value = false
+	default:
+		return fmt.Errorf("invalid boolean value %q", s)
+	}
+	return nil
+}
+
+// versionFlag implements the -V=full probe cmd/go uses to derive a
+// build-cache key for the vet tool: the output must be
+// "<name> version devel ... buildID=<content hash>" (see toolID in
+// cmd/go/internal/work/buildid.go).
+type versionFlag struct{}
+
+func (versionFlag) IsBoolFlag() bool { return true }
+func (versionFlag) String() string   { return "" }
+func (versionFlag) Set(s string) error {
+	if s != "full" {
+		return fmt.Errorf("unsupported flag value: -V=%s (use -V=full)", s)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return err
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", filepath.Base(exe), h.Sum(nil))
+	os.Exit(0)
+	return nil
+}
+
+// printFlags describes the registered flags as the JSON list `go vet`
+// expects from `vettool -flags` (cmd/go/internal/vet/vetflag.go).
+func printFlags() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	flags := []jsonFlag{}
+	flag.VisitAll(func(f *flag.Flag) {
+		b, ok := f.Value.(interface{ IsBoolFlag() bool })
+		flags = append(flags, jsonFlag{f.Name, ok && b.IsBoolFlag(), f.Usage})
+	})
+	data, err := json.MarshalIndent(flags, "", "\t")
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(data)
+}

@@ -1,0 +1,128 @@
+package framework
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+)
+
+// vetConfig mirrors the JSON compilation-unit description cmd/go writes
+// for `go vet -vettool` tools (see buildVetConfig in
+// cmd/go/internal/work/exec.go). Fields the suite does not consume are
+// still listed so the decoder documents the full protocol.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string // import path -> resolved package path
+	PackageFile               map[string]string // package path -> export data file
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunUnitchecker analyzes the single compilation unit described by the
+// cfg file, printing diagnostics in vet's plain format and returning
+// the number reported. This is the `go vet -vettool=indlint` entry
+// point: cmd/go type-checks nothing itself — it hands the tool file
+// lists plus compiler export data for every dependency.
+func RunUnitchecker(w io.Writer, cfgFile string, analyzers []*Analyzer) (int, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return 0, err
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return 0, fmt.Errorf("cannot decode JSON config file %s: %v", cfgFile, err)
+	}
+	if len(cfg.GoFiles) == 0 {
+		return 0, fmt.Errorf("package has no files: %s", cfg.ImportPath)
+	}
+
+	// The suite exports no facts, so dependency units (VetxOnly) need no
+	// analysis at all — but cmd/go caches the vetx output, so write it.
+	if cfg.VetxOnly {
+		return 0, writeVetx(cfg)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		if strings.HasSuffix(name, "_test.go") {
+			continue // test-variant units: invariants target package sources
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0, writeVetx(cfg)
+			}
+			return 0, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return 0, writeVetx(cfg)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		// path is a resolved package path, not a source import path.
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath] // resolve vendoring
+		if !ok {
+			path = importPath
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImporter.Import(path)
+	})
+
+	info := newTypesInfo()
+	conf := &types.Config{Importer: imp, GoVersion: cfg.GoVersion}
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, writeVetx(cfg)
+		}
+		return 0, err
+	}
+
+	diags, err := runAnalyzers(analyzers, fset, files, pkg, info)
+	if err != nil {
+		return 0, err
+	}
+	diags = ApplyIgnores(fset, files, diags)
+	for _, d := range diags {
+		fmt.Fprintf(w, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	return len(diags), writeVetx(cfg)
+}
+
+// writeVetx records an (empty) fact file where cmd/go asked for one, so
+// the result is cacheable across builds.
+func writeVetx(cfg *vetConfig) error {
+	if cfg.VetxOutput == "" {
+		return nil
+	}
+	return os.WriteFile(cfg.VetxOutput, []byte{}, 0o666)
+}

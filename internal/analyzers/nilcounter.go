@@ -1,0 +1,59 @@
+package analyzers
+
+import (
+	"go/ast"
+
+	"spider/internal/analyzers/framework"
+)
+
+// NilCounter enforces the PR 4 counter contract: every engine documents
+// its options' Counter as "nil disables external counting", so result
+// trailers must read it through the nil-safe totalRead helper in
+// internal/ind/counters.go. A direct (*valfile.ReadCounter).Total call
+// compiles fine and works in every test that happens to wire a counter —
+// then panics in the first caller that does not (the exact class the PR 4
+// nil-Counter sweep fixed across nine engines).
+var NilCounter = &framework.Analyzer{
+	Name: "nilcounter",
+	Doc: `forbid direct (*valfile.ReadCounter).Total calls in internal/ind
+
+Engine result trailers must fill Stats.ItemsRead via the nil-safe
+totalRead helper; Total called on a counter that arrived through
+options may be a typed-nil dereference contract violation waiting for
+the first caller that disables counting.`,
+	Run: runNilCounter,
+}
+
+const readCounterType = "*" + modulePrefix + "/internal/valfile.ReadCounter"
+
+func runNilCounter(pass *framework.Pass) error {
+	if !inPackages(pass, indPkg) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fd.Name.Name == "totalRead" && fd.Recv == nil {
+				continue // the one sanctioned accessor
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Total" {
+					return true
+				}
+				if typeName(pass.TypesInfo.TypeOf(sel.X)) == readCounterType {
+					pass.Reportf(call.Pos(), "direct (*valfile.ReadCounter).Total call; route result trailers through the nil-safe totalRead helper (counters.go) — Counter is documented as \"nil disables external counting\"")
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}

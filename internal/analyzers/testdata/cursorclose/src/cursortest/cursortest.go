@@ -1,0 +1,121 @@
+// Package cursortest exercises the cursorclose analyzer: closeable
+// module types must be released on every path or escape to an owner.
+package cursortest
+
+import (
+	"spider/internal/extsort"
+	"spider/internal/valfile"
+)
+
+// leakOnErrorPath is the seeded bug class: the defer Close that should
+// follow the first open was removed, so the second open's error return
+// leaks the first reader.
+func leakOnErrorPath(a, b string) error {
+	ra, err := valfile.Open(a, nil)
+	if err != nil {
+		return err // ra is nil on its own failure check: clean
+	}
+	rb, err := valfile.Open(b, nil)
+	if err != nil {
+		return err // want `ra may not be closed on this return path`
+	}
+	defer ra.Close()
+	defer rb.Close()
+	return nil
+}
+
+// closedProperly is the same shape with the defers where they belong.
+func closedProperly(a, b string) error {
+	ra, err := valfile.Open(a, nil)
+	if err != nil {
+		return err
+	}
+	defer ra.Close()
+	rb, err := valfile.Open(b, nil)
+	if err != nil {
+		return err
+	}
+	defer rb.Close()
+	return nil
+}
+
+// neverClosed acquires a reader, uses it, and forgets it entirely.
+func neverClosed(path string) int64 {
+	r, err := valfile.Open(path, nil) // want `r is never closed in this function`
+	if err != nil {
+		return 0
+	}
+	return r.Read()
+}
+
+// blankDiscard can never close what it throws away.
+func blankDiscard(path string) {
+	_, err := valfile.Open(path, nil) // want `result discarded with _`
+	_ = err
+}
+
+// escapesToCaller hands ownership out through the return value.
+func escapesToCaller(path string) (*valfile.Reader, error) {
+	r, err := valfile.Open(path, nil)
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// handedToOwner transfers ownership to a callee.
+func handedToOwner(path string, own func(*valfile.Reader)) error {
+	r, err := valfile.Open(path, nil)
+	if err != nil {
+		return err
+	}
+	own(r)
+	return nil
+}
+
+// deferredInClosure releases through a deferred function literal.
+func deferredInClosure(path string) error {
+	r, err := valfile.Open(path, nil)
+	if err != nil {
+		return err
+	}
+	defer func() { r.Close() }()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	return nil
+}
+
+// sorterDiscard releases a Discard-style closeable.
+func sorterDiscard(vals []string) error {
+	s := extsort.New()
+	defer s.Discard()
+	for _, v := range vals {
+		if err := s.Add(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sorterLeak forgets the sorter: its spill runs stay on disk.
+func sorterLeak(vals []string) error {
+	s := extsort.New() // want `s is never closed in this function`
+	for _, v := range vals {
+		if err := s.Add(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// freezeHandoff releases the sorter and hands the frozen runs out.
+func freezeHandoff(vals []string) (*extsort.Runs, error) {
+	s := extsort.New()
+	defer s.Discard()
+	runs, err := s.Freeze()
+	if err != nil {
+		return nil, err
+	}
+	return runs, nil
+}

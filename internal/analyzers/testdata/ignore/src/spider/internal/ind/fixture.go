@@ -1,0 +1,24 @@
+// Package ind exercises the indlint-ignore directive against a live
+// analyzer (tupleencode): both placement forms suppress, and an
+// undirected violation still fires. The reasonless-directive path is
+// covered by the framework's directive unit tests, where the "ignore"
+// diagnostic it produces can be asserted directly.
+package ind
+
+import "strings"
+
+// joinSameLine carries the directive as a trailing comment.
+func joinSameLine(parts []string) string {
+	return strings.Join(parts, "\x00") //lint:indlint-ignore fixture: trailing-comment suppression form
+}
+
+// joinLineAbove carries the directive on the line above.
+func joinLineAbove(parts []string) string {
+	//lint:indlint-ignore fixture: comment-above suppression form
+	return strings.Join(parts, "\x00")
+}
+
+// joinUnsuppressed has no directive: the analyzer still fires here.
+func joinUnsuppressed(parts []string) string {
+	return strings.Join(parts, "\x00") // want `strings\.Join builds a multi-value key non-injectively`
+}

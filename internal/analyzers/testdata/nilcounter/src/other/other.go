@@ -1,0 +1,7 @@
+// Package other proves the nilcounter gate: outside spider/internal/ind
+// a direct Total call is not this analyzer's business.
+package other
+
+import "spider/internal/valfile"
+
+func fine(c *valfile.ReadCounter) int64 { return c.Total() }

@@ -1,0 +1,31 @@
+// Package ind exercises the nilcounter analyzer inside the gated
+// import path: result trailers must read counters through totalRead.
+package ind
+
+import "spider/internal/valfile"
+
+// totalRead is the sanctioned nil-safe accessor; its own Total call is
+// exempt by name.
+func totalRead(c *valfile.ReadCounter) int64 {
+	if c == nil {
+		return 0
+	}
+	return c.Total()
+}
+
+// trailerDirect calls Total on a pointer counter that may be nil.
+func trailerDirect(c *valfile.ReadCounter) int64 {
+	return c.Total() // want `direct \(\*valfile\.ReadCounter\)\.Total call`
+}
+
+// trailerViaHelper routes through the nil-safe accessor.
+func trailerViaHelper(c *valfile.ReadCounter) int64 {
+	return totalRead(c)
+}
+
+// valueCounter owns its counter by value; it can never be nil.
+func valueCounter() int64 {
+	var c valfile.ReadCounter
+	c.Add(1)
+	return c.Total()
+}

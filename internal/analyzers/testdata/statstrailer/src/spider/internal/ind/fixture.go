@@ -1,0 +1,56 @@
+// Package ind exercises the statstrailer analyzer: exported entry
+// points returning Stats must fill ItemsRead or visibly delegate.
+package ind
+
+// Stats mirrors the engine stats trailer.
+type Stats struct {
+	Candidates int
+	ItemsRead  int64
+}
+
+// Result mirrors an engine result carrying the trailer.
+type Result struct {
+	Satisfied []string
+	Stats     Stats
+}
+
+// FindMissing is the original bug: a Stats-bearing result shipped with
+// ItemsRead permanently zero.
+func FindMissing(cands []string) *Result { // want `FindMissing returns Stats but never assigns ItemsRead`
+	res := &Result{}
+	res.Stats.Candidates = len(cands)
+	return res
+}
+
+// FindDirect assigns the trailer field itself.
+func FindDirect(cands []string, reads int64) *Result {
+	res := &Result{}
+	res.Stats.Candidates = len(cands)
+	res.Stats.ItemsRead = reads
+	return res
+}
+
+// FindWholeStats assigns the whole trailer at once.
+func FindWholeStats(reads int64) *Result {
+	res := &Result{}
+	res.Stats = Stats{ItemsRead: reads}
+	return res
+}
+
+// FindDelegating returns another Stats-bearing call directly.
+func FindDelegating(cands []string, reads int64) *Result {
+	return FindDirect(cands, reads)
+}
+
+// FindViaHelper hands the result to a trailer-filling helper.
+func FindViaHelper(cands []string, reads int64) *Result {
+	res := &Result{}
+	finishResult(res, reads)
+	return res
+}
+
+func finishResult(res *Result, reads int64) { res.Stats.ItemsRead = reads }
+
+// internalFind is unexported: callers inside the package own the
+// trailer contract, so it is not checked.
+func internalFind() *Result { return &Result{} }

@@ -1,0 +1,9 @@
+// Package other proves the tupleencode gate: encodings outside
+// spider/internal/ind are out of scope.
+package other
+
+import "strings"
+
+func join(parts []string) string { return strings.Join(parts, ",") }
+
+func concat(a, b string) string { return a + "\x00" + b }

@@ -1,0 +1,59 @@
+// Package ind exercises the tupleencode analyzer: multi-value keys in
+// the gated package must be injective.
+package ind
+
+import (
+	"fmt"
+	"strings"
+)
+
+// joinKey is the canonical PR 4 bug: components containing the
+// separator conflate distinct tuples.
+func joinKey(parts []string) string {
+	return strings.Join(parts, "\x00") // want `strings\.Join builds a multi-value key non-injectively`
+}
+
+// concatKey is the seeded raw-concatenation tuple key.
+func concatKey(dep, ref string) string {
+	return dep + "\x00" + ref // want `concatenating 2 values into one string key is not injective`
+}
+
+// concatKeyNoSep conflates even without an explicit separator.
+func concatKeyNoSep(dep, ref string) string {
+	return dep + ref // want `concatenating 2 values into one string key is not injective`
+}
+
+// sepOnly smuggles the separator against a single dynamic component.
+func sepOnly(v string) string {
+	return v + "\x00" // want `concatenation with a \\x00/\\x01 separator literal`
+}
+
+// sprintfKey hand-rolls the encoding through the fmt verb machinery.
+func sprintfKey(arity int, table, column string) string {
+	return fmt.Sprintf("%d\x00%s\x00%s", arity, table, column) // want `fmt\.Sprintf with a \\x00/\\x01 separator`
+}
+
+// pairKey is the sanctioned alternative: a comparable struct key.
+type pairKey struct{ dep, ref string }
+
+func structKey(dep, ref string) pairKey { return pairKey{dep: dep, ref: ref} }
+
+// String is a display method: human-readable joins are exempt there.
+func (k pairKey) String() string {
+	return k.dep + " into " + k.ref
+}
+
+// message builds prose, not a key: one dynamic part, no separator.
+func message(name string) string {
+	return "table " + name
+}
+
+// sprintfName has no separator bytes in its format: fine.
+func sprintfName(arity int, seq int64) string {
+	return fmt.Sprintf("nary_l%02d_%06d.val", arity, seq)
+}
+
+const prefix = "nary_"
+
+// constConcat folds at compile time: not a key built from values.
+func constConcat() string { return prefix + "level" }

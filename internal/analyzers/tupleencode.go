@@ -1,0 +1,136 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"spider/internal/analyzers/framework"
+)
+
+// TupleEncode guards the PR 4 false-positive class: a tuple key built by
+// naive value+separator concatenation conflates distinct tuples whose
+// components contain the separator — ("x\x00", "y") and ("x", "\x00y")
+// both become "x\x00\x00y\x00" — and a conflated key turns a refuted
+// n-ary candidate into a reported IND. All multi-value keys in
+// internal/ind must use the injective escaped tuple encoding
+// (encodeTuple and friends) or a comparable struct key.
+var TupleEncode = &framework.Analyzer{
+	Name: "tupleencode",
+	Doc: `forbid non-injective multi-value key construction in internal/ind
+
+Flags strings.Join, concatenation of two or more non-constant strings,
+concatenation involving \x00/\x01 separator literals, and fmt.Sprintf
+with a \x00/\x01 separator in its format. Display methods (String,
+GoString, Error, Format) are exempt: their output is for humans, not for
+keying.`,
+	Run: runTupleEncode,
+}
+
+// displayMethods produce human-readable text; join/concat is fine there.
+var displayMethods = map[string]bool{
+	"String":   true,
+	"GoString": true,
+	"Error":    true,
+	"Format":   true,
+}
+
+func runTupleEncode(pass *framework.Pass) error {
+	if !inPackages(pass, indPkg) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fd.Recv != nil && displayMethods[fd.Name.Name] {
+				continue
+			}
+			checkTupleEncode(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+func checkTupleEncode(pass *framework.Pass, body ast.Node) {
+	info := pass.TypesInfo
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isPkgCall(info, n, "strings", "Join") {
+				pass.Reportf(n.Pos(), "strings.Join builds a multi-value key non-injectively; use the escaped tuple encoding (encodeTuple) or a struct key — components containing the separator conflate (PR 4 bug class)")
+				return true
+			}
+			if isPkgCall(info, n, "fmt", "Sprintf") && len(n.Args) > 0 {
+				if v := info.Types[n.Args[0]].Value; v != nil && v.Kind() == constant.String {
+					if s := constant.StringVal(v); strings.ContainsAny(s, "\x00\x01") {
+						pass.Reportf(n.Pos(), "fmt.Sprintf with a \\x00/\\x01 separator hand-rolls a non-injective key; use the escaped tuple encoding or a comparable struct key")
+					}
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op != token.ADD {
+				return true
+			}
+			// Only handle the top of a + chain; operands are flattened.
+			if !isStringType(info.TypeOf(n)) {
+				return true
+			}
+			return checkConcat(pass, n)
+		}
+		return true
+	})
+}
+
+// checkConcat flattens a string + chain and flags it when it combines
+// two or more non-constant values, or mixes in a \x00/\x01 separator
+// literal. Returns false (stop descending) when the chain was handled.
+func checkConcat(pass *framework.Pass, top *ast.BinaryExpr) bool {
+	info := pass.TypesInfo
+	if info.Types[top].Value != nil {
+		return false // the whole chain is constant-folded: not a key from values
+	}
+	var leaves []ast.Expr
+	var flatten func(e ast.Expr)
+	flatten = func(e ast.Expr) {
+		if b, ok := ast.Unparen(e).(*ast.BinaryExpr); ok && b.Op == token.ADD && info.Types[b].Value == nil {
+			flatten(b.X)
+			flatten(b.Y)
+			return
+		}
+		leaves = append(leaves, e)
+	}
+	flatten(top)
+
+	nonConst := 0
+	sepLiteral := false
+	for _, l := range leaves {
+		v := info.Types[l].Value
+		if v == nil {
+			nonConst++
+			continue
+		}
+		if v.Kind() == constant.String && strings.ContainsAny(constant.StringVal(v), "\x00\x01") {
+			sepLiteral = true
+		}
+	}
+	switch {
+	case nonConst >= 2:
+		pass.Reportf(top.Pos(), "concatenating %d values into one string key is not injective; use the escaped tuple encoding (encodeTuple) or a comparable struct key (PR 4 bug class)", nonConst)
+	case sepLiteral:
+		pass.Reportf(top.Pos(), "concatenation with a \\x00/\\x01 separator literal hand-rolls the tuple encoding without its escaping; use encodeTuple or a struct key")
+	}
+	return false
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

@@ -622,6 +622,7 @@ func (m *merger) close() {
 // duplicates) into a sorted distinct value file at path using cfg.
 func SortToFile(vals []string, path string, cfg Config) (int, string, error) {
 	s := New(cfg)
+	defer s.Discard() // reclaims spill runs when Add fails mid-stream
 	for _, v := range vals {
 		if err := s.Add(v); err != nil {
 			return 0, "", err

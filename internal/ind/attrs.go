@@ -195,6 +195,7 @@ func exportAttribute(db *relstore.Database, a *Attribute, cfg ExportConfig) erro
 	if err != nil {
 		return err
 	}
+	defer sorter.Discard() // no-op after WriteToObserved; reclaims runs on early error
 	// The sketch taps the final merge rather than the raw column scan:
 	// each distinct value is observed exactly once, so the builder does
 	// per-distinct work instead of per-row work.
@@ -327,6 +328,7 @@ func StreamAttributesShared(db *relstore.Database, attrs []*Attribute, cfg Expor
 		if err != nil {
 			return err
 		}
+		defer sorter.Discard() // no-op once Freeze moved ownership to runs
 		if builder != nil {
 			a.Sketch = builder.Finish()
 		}

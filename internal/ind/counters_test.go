@@ -1,0 +1,32 @@
+package ind
+
+import (
+	"testing"
+
+	"spider/internal/valfile"
+)
+
+// totalRead is the one sanctioned accessor for option counters, whose
+// documented contract is "nil disables external counting" — so the nil
+// branch is load-bearing, not defensive.
+func TestTotalReadNil(t *testing.T) {
+	if got := totalRead(nil); got != 0 {
+		t.Fatalf("totalRead(nil) = %d, want 0", got)
+	}
+}
+
+func TestTotalReadCounts(t *testing.T) {
+	var c valfile.ReadCounter
+	if got := totalRead(&c); got != 0 {
+		t.Fatalf("totalRead of fresh counter = %d, want 0", got)
+	}
+	c.Add(3)
+	c.Add(4)
+	if got := totalRead(&c); got != 7 {
+		t.Fatalf("totalRead after Add(3), Add(4) = %d, want 7", got)
+	}
+	c.Reset()
+	if got := totalRead(&c); got != 0 {
+		t.Fatalf("totalRead after Reset = %d, want 0", got)
+	}
+}

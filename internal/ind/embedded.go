@@ -301,9 +301,11 @@ func deriveAttributes(db *relstore.Database, attrs []*Attribute, opts EmbeddedOp
 					addErr = sorter.Add(out)
 				}
 			}); err != nil {
+				sorter.Discard()
 				return nil, err
 			}
 			if addErr != nil {
+				sorter.Discard()
 				return nil, addErr
 			}
 			path := filepath.Join(opts.Dir, fmt.Sprintf("derived_%05d_%s.val", nextID, tr.Name))

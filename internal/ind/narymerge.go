@@ -192,6 +192,7 @@ func (m *mergeLevelVerifier) runMerge(arity int, lists []*tupleList, pairs []Can
 			if err != nil {
 				return err
 			}
+			defer sorter.Discard() // no-op once Freeze moved ownership to runs
 			runs, err := sorter.Freeze()
 			if err != nil {
 				return err
@@ -244,6 +245,7 @@ func (m *mergeLevelVerifier) runMerge(arity int, lists []*tupleList, pairs []Can
 			if err != nil {
 				return err
 			}
+			defer sorter.Discard() // no-op after WriteTo; reclaims runs on early error
 			path := filepath.Join(m.workDir, fmt.Sprintf("nary_l%02d_%06d.val", arity, m.seq.Add(1)))
 			n, _, err := sorter.WriteTo(path)
 			if err != nil {

@@ -1,7 +1,6 @@
 package ind
 
 import (
-	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -57,9 +56,9 @@ type candGroup struct {
 // level's (sorted) candidate order within each group.
 func groupCands(cands []naryCand) []*candGroup {
 	var order []*candGroup
-	byPair := make(map[string]*candGroup)
+	byPair := make(map[[2]string]*candGroup)
 	for i, c := range cands {
-		k := c.depTable + "\x00" + c.refTable
+		k := [2]string{c.depTable, c.refTable}
 		g := byPair[k]
 		if g == nil {
 			g = &candGroup{}
@@ -131,7 +130,7 @@ type specEntry struct {
 // consumer or discarded — no goroutine or spill file leaks.
 type speculator struct {
 	mu       sync.Mutex
-	entries  map[string]*specEntry
+	entries  map[specID]*specEntry
 	canceled bool
 	sem      chan struct{} // bounds concurrent extractions
 	wg       sync.WaitGroup
@@ -139,14 +138,21 @@ type speculator struct {
 
 func newSpeculator(workers int) *speculator {
 	return &speculator{
-		entries: make(map[string]*specEntry),
+		entries: make(map[specID]*specEntry),
 		sem:     make(chan struct{}, workers),
 	}
 }
 
-func specKey(arity int, table string, cols []relstore.ColumnRef) string {
-	id := listIdent(table, cols)
-	return fmt.Sprintf("%d\x00%s\x00%s", arity, id.Table, id.Column)
+// specID identifies one speculative extraction: arity plus the list's
+// synthetic column identity. A comparable struct key is injective by
+// construction — no separator to collide with (the PR 4 bug class).
+type specID struct {
+	arity int
+	list  relstore.ColumnRef
+}
+
+func specKey(arity int, table string, cols []relstore.ColumnRef) specID {
+	return specID{arity: arity, list: listIdent(table, cols)}
 }
 
 // launch begins extraction of the candidate's dependent and referenced
@@ -237,7 +243,7 @@ func (s *speculator) cancelAll() {
 	s.mu.Lock()
 	s.canceled = true
 	entries := s.entries
-	s.entries = make(map[string]*specEntry)
+	s.entries = make(map[specID]*specEntry)
 	for _, e := range entries {
 		close(e.cancel)
 	}
