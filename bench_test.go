@@ -24,6 +24,7 @@ package spider
 
 import (
 	"fmt"
+	"os"
 	"sync"
 	"testing"
 
@@ -962,6 +963,98 @@ func BenchmarkKMVShardPlan(b *testing.B) {
 						b.ReportMetric(float64(max)/mean, "skew-max/mean")
 					}
 					b.ReportMetric(float64(total), "items/op")
+				}
+			}
+		})
+	}
+}
+
+// --- Columnar block store: text vs block encoding ------------------------
+
+// BenchmarkBlockStore times writing and scanning one sorted value file
+// in each encoding over a prefix-heavy value population (the shape of
+// accession numbers and encoded tuples). bytes/value reports the on-disk
+// or read I/O cost per delivered value.
+func BenchmarkBlockStore(b *testing.B) {
+	vals := make([]string, 100_000)
+	for i := range vals {
+		vals[i] = fmt.Sprintf("sg_accession/P%07d/rev-%03d", i/7, i%7)
+	}
+	for _, format := range []valfile.Format{valfile.FormatText, valfile.FormatBlock} {
+		b.Run(fmt.Sprintf("write/%s", format), func(b *testing.B) {
+			dir := b.TempDir()
+			for i := 0; i < b.N; i++ {
+				path := fmt.Sprintf("%s/w%d.val", dir, i)
+				if _, err := valfile.WriteAllFormat(path, vals, format); err != nil {
+					b.Fatal(err)
+				}
+				if i == b.N-1 {
+					fi, err := os.Stat(path)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(float64(fi.Size())/float64(len(vals)), "bytes/value")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("read/%s", format), func(b *testing.B) {
+			path := fmt.Sprintf("%s/r.val", b.TempDir())
+			if _, err := valfile.WriteAllFormat(path, vals, format); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var counter valfile.ReadCounter
+				r, err := valfile.Open(path, &counter)
+				if err != nil {
+					b.Fatal(err)
+				}
+				n := 0
+				for {
+					if _, ok := r.Next(); !ok {
+						break
+					}
+					n++
+				}
+				if err := r.Close(); err != nil {
+					b.Fatal(err)
+				}
+				if n != len(vals) {
+					b.Fatalf("read %d values, want %d", n, len(vals))
+				}
+				if i == b.N-1 {
+					b.ReportMetric(float64(counter.TotalBytes())/float64(n), "bytes/value")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkNaryFormat runs the merge-backed n-ary engine in both value
+// file encodings: tuplebytes/op is the raw I/O of the encoded-tuple
+// levels (arity ≥ 2), the stream the front-coded block format exists to
+// shrink — encoded tuples share the long prefixes of their components.
+func BenchmarkNaryFormat(b *testing.B) {
+	ds := benchDataset(b, "uniprot")
+	for _, format := range []valfile.Format{valfile.FormatText, valfile.FormatBlock} {
+		b.Run(format.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := ind.DiscoverNary(ds.DB, ind.NaryOptions{
+					MaxArity:  3,
+					Algorithm: ind.NaryMerge,
+					Sort:      extsort.Config{Format: format},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == b.N-1 {
+					var tupleBytes int64
+					for arity := 2; arity < len(res.Stats.BytesReadByArity); arity++ {
+						tupleBytes += res.Stats.BytesReadByArity[arity]
+					}
+					b.ReportMetric(float64(tupleBytes), "tuplebytes/op")
+					b.ReportMetric(float64(res.Stats.BytesRead), "bytes/op")
+					b.ReportMetric(float64(len(res.Satisfied)), "nary-INDs")
 				}
 			}
 		})

@@ -41,6 +41,7 @@ func main() {
 	narySequential := flag.Bool("nary-sequential", false, "disable overlapped n-ary levels (spider-merge; run one level at a time)")
 	embedded := flag.Bool("embedded", false, "also discover embedded INDs (transformed values; -algo spider-merge selects the merge-front engine)")
 	workDir := flag.String("workdir", "", "directory for sorted value files (temporary when empty)")
+	formatName := flag.String("format", "text", "value-file encoding: text|block (block = columnar binary with front coding)")
 	sketchOn := flag.Bool("sketch", false, "enable the sketch pre-filter (min-hash + bloom; sound on the exact path)")
 	sketchContainment := flag.Float64("sketch-containment", 0,
 		"also prune candidates with estimated containment below this bound (approximate; 0 = off on the exact path, σ on the partial path)")
@@ -66,6 +67,12 @@ func main() {
 		os.Exit(1)
 	}
 
+	format, err := spider.ParseFormat(*formatName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "indfind: %v\n", err)
+		os.Exit(1)
+	}
+
 	if *partial > 0 {
 		partials, stats, err := spider.FindPartialINDs(db, spider.PartialOptions{
 			Threshold:               *partial,
@@ -80,6 +87,7 @@ func main() {
 			SketchMinContainment:    *sketchContainment,
 			SketchK:                 *sketchK,
 			SketchBloomBitsPerValue: *sketchBloomBits,
+			Format:                  format,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "indfind: %v\n", err)
@@ -113,6 +121,7 @@ func main() {
 		SketchMinContainment:    *sketchContainment,
 		SketchK:                 *sketchK,
 		SketchBloomBitsPerValue: *sketchBloomBits,
+		Format:                  format,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "indfind: %v\n", err)
@@ -140,6 +149,7 @@ func main() {
 			Algorithm:     naryAlgo,
 			WorkDir:       *workDir,
 			ExportWorkers: *exportWorkers,
+			Format:        format,
 			// Per-level progress arrives as each level finishes, not after
 			// the whole search: long levels report while later ones run.
 			LevelProgress: func(p spider.NaryLevelProgress) {
@@ -181,6 +191,7 @@ func main() {
 		embOpts := spider.EmbeddedOptions{
 			Algorithm: embAlgo,
 			WorkDir:   *workDir,
+			Format:    format,
 		}
 		if embAlgo == spider.SpiderMerge {
 			embOpts.Shards = *shards
@@ -210,6 +221,9 @@ func printStats(st spider.Stats, approach string) {
 		"%d max open files, %d events, %s (%s)\n",
 		st.Candidates, st.Satisfied, st.ItemsRead, st.Comparisons,
 		st.MaxOpenFiles, st.Events, st.Duration.Round(1e6), approach)
+	if st.BytesRead > 0 {
+		fmt.Printf("value-file I/O: %d bytes read\n", st.BytesRead)
+	}
 	if st.CandidatesPruned > 0 || st.SketchBytes > 0 {
 		fmt.Printf("sketch pre-filter: %d candidates pruned, %d sketch bytes\n",
 			st.CandidatesPruned, st.SketchBytes)

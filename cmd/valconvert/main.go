@@ -1,0 +1,261 @@
+// Command valconvert converts sorted value files between the text
+// encoding (escaped newline-separated values) and the columnar block
+// encoding (front-coded blocks, checksums, embedded sections):
+//
+//	valconvert file.val                    # flip the detected encoding in place
+//	valconvert -format block -dir export/  # convert a whole export directory
+//	valconvert -verify -out b.val a.val    # convert to a new path, re-checked
+//
+// Sketch payloads move with the file: a .sketch sidecar becomes the
+// embedded SKCH section on text→block, and the SKCH section becomes a
+// sidecar on block→text. Embedded run metadata (RUNM) has no text
+// representation and is dropped with a notice.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"spider/internal/blockfile"
+	"spider/internal/valfile"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "valconvert: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("valconvert", flag.ContinueOnError)
+	formatName := fs.String("format", "", "target encoding: text|block (default: the opposite of the source)")
+	outPath := fs.String("out", "", "output path (single file only; default: replace the source in place)")
+	dir := fs.String("dir", "", "convert every .val file under this directory in place")
+	verify := fs.Bool("verify", false, "re-read source and output and compare value streams before replacing anything")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var target valfile.Format
+	haveTarget := *formatName != ""
+	if haveTarget {
+		var err error
+		target, err = valfile.ParseFormat(*formatName)
+		if err != nil {
+			return err
+		}
+	}
+
+	switch {
+	case *dir != "":
+		if *outPath != "" {
+			return fmt.Errorf("-out applies to single files, not -dir")
+		}
+		if fs.NArg() > 0 {
+			return fmt.Errorf("use either -dir or file arguments, not both")
+		}
+		if !haveTarget {
+			return fmt.Errorf("-dir requires an explicit -format")
+		}
+		return convertDir(*dir, target, *verify, out)
+	case fs.NArg() == 0:
+		return fmt.Errorf("no input files; usage: valconvert [-format text|block] [-out PATH] [-verify] FILE... | -dir DIR")
+	case *outPath != "" && fs.NArg() > 1:
+		return fmt.Errorf("-out applies to a single input file, got %d", fs.NArg())
+	}
+
+	for _, src := range fs.Args() {
+		dst := *outPath
+		if dst == "" {
+			dst = src
+		}
+		tgt := target
+		if !haveTarget {
+			detected, err := valfile.DetectFormat(src)
+			if err != nil {
+				return err
+			}
+			tgt = flip(detected)
+		}
+		if err := convertFile(src, dst, tgt, *verify, out); err != nil {
+			return fmt.Errorf("%s: %w", src, err)
+		}
+	}
+	return nil
+}
+
+// flip returns the other encoding.
+func flip(f valfile.Format) valfile.Format {
+	if f == valfile.FormatText {
+		return valfile.FormatBlock
+	}
+	return valfile.FormatText
+}
+
+// convertDir converts every .val file under dir (recursively) to the
+// target format in place. Files already in the target format are left
+// untouched.
+func convertDir(dir string, target valfile.Format, verify bool, out io.Writer) error {
+	return filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".val") {
+			return err
+		}
+		have, err := valfile.DetectFormat(path)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if have == target {
+			return nil
+		}
+		if err := convertFile(path, path, target, verify, out); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		return nil
+	})
+}
+
+// convertFile streams src into a freshly written dst in the target
+// format, migrating sketch payloads across the sidecar/section boundary.
+// The output lands in a temp file first and replaces dst only after it
+// is complete (and, with verify, proven value-identical to the source).
+func convertFile(src, dst string, target valfile.Format, verify bool, out io.Writer) error {
+	source, err := valfile.DetectFormat(src)
+	if err != nil {
+		return err
+	}
+
+	tmp := dst + ".convert.tmp"
+	defer os.Remove(tmp)
+	w, err := valfile.CreateFormat(tmp, target)
+	if err != nil {
+		return err
+	}
+	n, err := copyValues(src, w)
+	if err != nil {
+		w.Close()
+		return err
+	}
+	if err := migrateSections(src, source, w, target, dst, out); err != nil {
+		w.Close()
+		return err
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+
+	if verify {
+		if err := compareValues(src, tmp); err != nil {
+			return fmt.Errorf("verify: %w", err)
+		}
+	}
+	if err := os.Rename(tmp, dst); err != nil {
+		return err
+	}
+	// In-place text→block: the sidecar's payload now lives inside the
+	// block file; leaving it would shadow the embedded copy.
+	if src == dst && source == valfile.FormatText && target == valfile.FormatBlock {
+		os.Remove(src + ".sketch")
+	}
+	fmt.Fprintf(out, "%s: %s → %s (%d values)\n", dst, source, target, n)
+	return nil
+}
+
+// copyValues streams every value of src into w.
+func copyValues(src string, w *valfile.Writer) (int, error) {
+	r, err := valfile.Open(src, nil)
+	if err != nil {
+		return 0, err
+	}
+	defer r.Close()
+	for {
+		v, ok := r.Next()
+		if !ok {
+			break
+		}
+		if err := w.Append(v); err != nil {
+			return 0, err
+		}
+	}
+	return w.Len(), r.Err()
+}
+
+// migrateSections carries sketch payloads across the conversion: a
+// sidecar file feeds the SKCH section on text→block, embedded sections
+// feed the block output or (SKCH only) a sidecar on block→text.
+func migrateSections(src string, source valfile.Format, w *valfile.Writer, target valfile.Format, dst string, out io.Writer) error {
+	if source == valfile.FormatText {
+		if target != valfile.FormatBlock {
+			return nil
+		}
+		data, err := os.ReadFile(src + ".sketch")
+		if os.IsNotExist(err) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		return w.SetSection(valfile.SketchSection, data)
+	}
+	br, err := blockfile.Open(src)
+	if err != nil {
+		return err
+	}
+	defer br.Close()
+	for _, tag := range br.Sections() {
+		data, _, err := br.Section(tag)
+		if err != nil {
+			return err
+		}
+		switch {
+		case target == valfile.FormatBlock:
+			if err := w.SetSection(tag, data); err != nil {
+				return err
+			}
+		case tag == valfile.SketchSection:
+			if err := os.WriteFile(dst+".sketch", data, 0o644); err != nil {
+				return err
+			}
+		default:
+			fmt.Fprintf(out, "%s: dropping %s section (no text representation)\n", src, tag)
+		}
+	}
+	return nil
+}
+
+// compareValues re-reads both files and fails on the first diverging
+// value, extra value, or missing value.
+func compareValues(a, b string) error {
+	ra, err := valfile.Open(a, nil)
+	if err != nil {
+		return err
+	}
+	defer ra.Close()
+	rb, err := valfile.Open(b, nil)
+	if err != nil {
+		return err
+	}
+	defer rb.Close()
+	for i := 0; ; i++ {
+		va, oka := ra.Next()
+		vb, okb := rb.Next()
+		if oka != okb {
+			return fmt.Errorf("value count mismatch at index %d", i)
+		}
+		if !oka {
+			break
+		}
+		if va != vb {
+			return fmt.Errorf("value %d differs: %q vs %q", i, va, vb)
+		}
+	}
+	if err := ra.Err(); err != nil {
+		return err
+	}
+	return rb.Err()
+}

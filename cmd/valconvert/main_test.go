@@ -1,0 +1,178 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"spider/internal/valfile"
+)
+
+func writeText(t *testing.T, path string, values []string) {
+	t.Helper()
+	if _, err := valfile.WriteAll(path, values); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readAll(t *testing.T, path string) []string {
+	t.Helper()
+	vals, err := valfile.ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vals
+}
+
+func mustFormat(t *testing.T, path string, want valfile.Format) {
+	t.Helper()
+	got, err := valfile.DetectFormat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("DetectFormat(%s) = %v, want %v", path, got, want)
+	}
+}
+
+func TestRoundtripInPlace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.val")
+	values := []string{"", "a", "abc\nwith\nnewlines", "abd", "b\x00nul"}
+	writeText(t, path, values)
+
+	var out strings.Builder
+	// text → block (default flips the detected format).
+	if err := run([]string{"-verify", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	mustFormat(t, path, valfile.FormatBlock)
+	if got := readAll(t, path); !equal(got, values) {
+		t.Fatalf("after text→block: %q", got)
+	}
+	// block → text.
+	if err := run([]string{"-verify", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	mustFormat(t, path, valfile.FormatText)
+	if got := readAll(t, path); !equal(got, values) {
+		t.Fatalf("after block→text: %q", got)
+	}
+}
+
+func TestOutPath(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "src.val")
+	dst := filepath.Join(dir, "dst.val")
+	values := []string{"x", "y", "z"}
+	writeText(t, src, values)
+
+	var out strings.Builder
+	if err := run([]string{"-format", "block", "-out", dst, "-verify", src}, &out); err != nil {
+		t.Fatal(err)
+	}
+	mustFormat(t, src, valfile.FormatText) // source untouched
+	mustFormat(t, dst, valfile.FormatBlock)
+	if got := readAll(t, dst); !equal(got, values) {
+		t.Fatalf("dst = %q", got)
+	}
+}
+
+func TestSketchSidecarMigration(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.val")
+	writeText(t, path, []string{"a", "b"})
+	payload := []byte("sketch-payload")
+	if err := os.WriteFile(path+".sketch", payload, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	// text → block: sidecar becomes the embedded section, sidecar removed.
+	if err := run([]string{"-format", "block", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, ok, err := valfile.ReadSection(path, valfile.SketchSection)
+	if err != nil || !ok || !bytes.Equal(data, payload) {
+		t.Fatalf("embedded sketch = %q ok=%v err=%v", data, ok, err)
+	}
+	if _, err := os.Stat(path + ".sketch"); !os.IsNotExist(err) {
+		t.Fatalf("sidecar should be removed after in-place embed, stat err = %v", err)
+	}
+
+	// block → text: section becomes the sidecar again.
+	if err := run([]string{"-format", "text", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	side, err := os.ReadFile(path + ".sketch")
+	if err != nil || !bytes.Equal(side, payload) {
+		t.Fatalf("sidecar = %q err=%v", side, err)
+	}
+}
+
+func TestDirMode(t *testing.T) {
+	dir := t.TempDir()
+	var paths []string
+	for _, name := range []string{"a.val", "b.val", filepath.Join("sub", "c.val")} {
+		p := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		writeText(t, p, []string{"v1", "v2"})
+		paths = append(paths, p)
+	}
+	// One file already in the target format must be left alone.
+	pre := filepath.Join(dir, "pre.val")
+	if _, err := valfile.WriteAllFormat(pre, []string{"w"}, valfile.FormatBlock); err != nil {
+		t.Fatal(err)
+	}
+	other := filepath.Join(dir, "notes.txt")
+	if err := os.WriteFile(other, []byte("not a value file"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	if err := run([]string{"-format", "block", "-verify", "-dir", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range paths {
+		mustFormat(t, p, valfile.FormatBlock)
+	}
+	mustFormat(t, pre, valfile.FormatBlock)
+	if data, err := os.ReadFile(other); err != nil || string(data) != "not a value file" {
+		t.Fatalf("non-.val file touched: %q err=%v", data, err)
+	}
+	if strings.Contains(out.String(), "pre.val") {
+		t.Fatalf("already-converted file reported: %s", out.String())
+	}
+}
+
+func TestBadArgs(t *testing.T) {
+	var out strings.Builder
+	for _, args := range [][]string{
+		{},                              // no inputs
+		{"-format", "gzip", "x.val"},    // unknown format
+		{"-dir", "d", "x.val"},          // dir + files
+		{"-dir", "d"},                   // dir without format
+		{"-out", "o", "a.val", "b.val"}, // out with multiple inputs
+		{"-dir", "d", "-out", "o"},      // dir + out
+	} {
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%q) succeeded, want error", args)
+		}
+	}
+}
+
+func equal(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

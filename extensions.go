@@ -80,6 +80,9 @@ type PartialOptions struct {
 	// package defaults).
 	SketchK                 int
 	SketchBloomBitsPerValue int
+	// Format selects the on-disk encoding of exported value files and
+	// frozen spill runs; see Options.Format.
+	Format Format
 	// MaxValuePretest is NOT applied: a dependent maximum above the
 	// referenced maximum refutes only the exact IND, not a partial one.
 	// SamplingPretest is likewise unsound for partial INDs and skipped.
@@ -127,7 +130,8 @@ func FindPartialINDs(db *Database, opts PartialOptions) ([]PartialIND, Stats, er
 	var counter valfile.ReadCounter
 	exportCfg := ind.ExportConfig{
 		Dir: workDir, Workers: workerPool(opts.ExportWorkers),
-		Sort:     extsort.Config{TempDir: opts.WorkDir},
+		Sort:     extsort.Config{TempDir: opts.WorkDir, Format: opts.Format.internal()},
+		Format:   opts.Format.internal(),
 		Sketches: opts.SketchPrefilter,
 		SketchConfig: sketch.Config{
 			K: opts.SketchK, BloomBitsPerValue: opts.SketchBloomBitsPerValue,
@@ -288,6 +292,9 @@ type NaryOptions struct {
 	// LevelProgress, when non-nil, receives one report per completed
 	// level (including the arity-1 seed) as soon as its verdicts are in.
 	LevelProgress func(NaryLevelProgress)
+	// Format selects the on-disk encoding of the sorted tuple files and
+	// frozen spill runs; see Options.Format.
+	Format Format
 }
 
 // NaryLevelProgress is one completed level's summary, delivered to
@@ -309,7 +316,11 @@ type NaryStats struct {
 	CandidatesByArity []int
 	SatisfiedByArity  []int
 	ItemsReadByArity  []int64
-	LevelDurations    []time.Duration
+	// BytesReadByArity counts the raw value-file bytes pulled per level;
+	// it is the per-arity breakdown of Stats.BytesRead and the metric
+	// that compares the text and block encodings' tuple-stream I/O.
+	BytesReadByArity []int64
+	LevelDurations   []time.Duration
 	// Truncated reports that a level exceeded the candidate cap; the
 	// returned INDs still cover every arity below StoppedAtArity.
 	Truncated      bool
@@ -347,6 +358,7 @@ func FindNaryINDs(db *Database, opts NaryOptions) ([]NaryIND, NaryStats, error) 
 		MergeWorkers:     opts.MergeWorkers,
 		ExportWorkers:    opts.ExportWorkers,
 		SequentialLevels: opts.SequentialLevels,
+		Sort:             extsort.Config{Format: opts.Format.internal()},
 	}
 	if opts.LevelProgress != nil {
 		inOpts.LevelProgress = func(p ind.LevelProgress) {
@@ -376,12 +388,14 @@ func FindNaryINDs(db *Database, opts NaryOptions) ([]NaryIND, NaryStats, error) 
 		Stats: Stats{
 			Satisfied:   len(out),
 			ItemsRead:   res.Stats.ItemsRead,
+			BytesRead:   res.Stats.BytesRead,
 			Comparisons: res.Stats.TuplesCompared,
 			Duration:    res.Stats.Duration,
 		},
 		CandidatesByArity: res.Stats.CandidatesByArity,
 		SatisfiedByArity:  res.Stats.SatisfiedByArity,
 		ItemsReadByArity:  res.Stats.ItemsReadByArity,
+		BytesReadByArity:  res.Stats.BytesReadByArity,
 		LevelDurations:    res.Stats.LevelDurations,
 		Truncated:         res.Truncated,
 		StoppedAtArity:    res.StoppedAtArity,
@@ -413,6 +427,9 @@ type EmbeddedOptions struct {
 	MergeWorkers int
 	// Planner selects the shard boundary planner; see Options.Planner.
 	Planner ShardPlanner
+	// Format selects the on-disk encoding of the exported and derived
+	// value files; see Options.Format.
+	Format Format
 }
 
 // FindEmbeddedINDs discovers inclusions of embedded values (the paper's
@@ -447,7 +464,11 @@ func FindEmbeddedINDsWith(db *Database, opts EmbeddedOptions) ([]EmbeddedIND, St
 		defer os.RemoveAll(tmp)
 		workDir = tmp
 	}
-	attrs, err := ind.Prepare(db.rel, ind.ExportConfig{Dir: workDir})
+	attrs, err := ind.Prepare(db.rel, ind.ExportConfig{
+		Dir:    workDir,
+		Sort:   extsort.Config{Format: opts.Format.internal()},
+		Format: opts.Format.internal(),
+	})
 	if err != nil {
 		return nil, Stats{}, err
 	}
@@ -459,6 +480,7 @@ func FindEmbeddedINDsWith(db *Database, opts EmbeddedOptions) ([]EmbeddedIND, St
 		Shards:       opts.Shards,
 		MergeWorkers: opts.MergeWorkers,
 		Planner:      opts.Planner.internal(),
+		Format:       opts.Format.internal(),
 	})
 	if err != nil {
 		return nil, Stats{}, err

@@ -9,7 +9,8 @@ import (
 )
 
 // CursorClose enforces the resource invariant behind every engine:
-// a Cursor, valfile.Reader/Writer, extsort.MergeCursor/Runs/Sorter or
+// a Cursor, valfile.Reader/Writer, blockfile.Reader/Writer,
+// extsort.MergeCursor/Runs/Sorter or
 // cursor source obtained in a function must be released on every path —
 // closed (or discarded) before each return, or handed off to an owner
 // (returned, stored in a field/map, passed to another function). In a
@@ -31,7 +32,8 @@ var CursorClose = &framework.Analyzer{
 	Doc: `cursors and spill-run handles must be closed on all paths
 
 Module types with a Close or Discard method (ind.Cursor, valfile.Reader,
-extsort.Runs, ...) obtained from a call must be released before every
+blockfile.Reader, blockfile.Writer, extsort.Runs, ...) obtained from a
+call must be released before every
 subsequent return, or escape to a returned/stored owner. Assigning one
 to the blank identifier is flagged outright.`,
 	Run: runCursorClose,

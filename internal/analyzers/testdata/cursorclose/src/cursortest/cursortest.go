@@ -3,6 +3,7 @@
 package cursortest
 
 import (
+	"spider/internal/blockfile"
 	"spider/internal/extsort"
 	"spider/internal/valfile"
 )
@@ -107,6 +108,56 @@ func sorterLeak(vals []string) error {
 		}
 	}
 	return nil
+}
+
+// blockReaderLeak forgets a block-file reader: the fd-holding handle
+// never reaches Close.
+func blockReaderLeak(path string) (int64, error) {
+	r, err := blockfile.Open(path) // want `r is never closed in this function`
+	if err != nil {
+		return 0, err
+	}
+	return r.Count(), nil
+}
+
+// blockWriterLeakOnError is the unclosed-on-error-path class on the
+// block writer: the reader open's error return leaks the writer.
+func blockWriterLeakOnError(src, dst string) error {
+	w, err := blockfile.Create(dst, blockfile.Options{})
+	if err != nil {
+		return err // w is nil on its own failure check: clean
+	}
+	r, err := blockfile.Open(src)
+	if err != nil {
+		return err // want `w may not be closed on this return path`
+	}
+	defer w.Close()
+	defer r.Close()
+	return nil
+}
+
+// blockRoundtripClosed releases both block-file handles properly.
+func blockRoundtripClosed(src, dst string) error {
+	w, err := blockfile.Create(dst, blockfile.Options{})
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	r, err := blockfile.Open(src)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	for {
+		v, ok := r.Next()
+		if !ok {
+			break
+		}
+		if err := w.Append(v); err != nil {
+			return err
+		}
+	}
+	return r.Err()
 }
 
 // freezeHandoff releases the sorter and hands the frozen runs out.

@@ -1,0 +1,26 @@
+// Package blockfile is a fixture stub mirroring spider/internal/blockfile:
+// just enough surface for cursorclose to recognize its closeable types.
+package blockfile
+
+// Reader mirrors the block-file reader.
+type Reader struct{}
+
+func (r *Reader) Next() (string, bool) { return "", false }
+func (r *Reader) Err() error           { return nil }
+func (r *Reader) Count() int64         { return 0 }
+func (r *Reader) Close() error         { return nil }
+
+// Writer mirrors the block-file writer.
+type Writer struct{}
+
+func (w *Writer) Append(v string) error { return nil }
+func (w *Writer) Close() error          { return nil }
+
+// Open mirrors the real constructor's (closeable, error) shape.
+func Open(path string) (*Reader, error) { return &Reader{}, nil }
+
+// Options mirrors the writer options.
+type Options struct{ TargetBlockSize int }
+
+// Create mirrors the real constructor's (closeable, error) shape.
+func Create(path string, opts Options) (*Writer, error) { return &Writer{}, nil }

@@ -1,0 +1,247 @@
+package blockfile
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Options configures a Writer. The zero value selects defaults.
+type Options struct {
+	// TargetBlockSize is the payload size at which a block is sealed;
+	// 0 means DefaultTargetBlockSize. Tests use tiny targets to force
+	// many blocks from few values.
+	TargetBlockSize int
+}
+
+// Writer appends strictly increasing values to a block-format file.
+// Values are buffered into front-coded blocks; the index, sections and
+// footer are written by Close. A Writer whose Close is never called
+// leaves an unreadable file (no footer) — callers must Close on every
+// path, or remove the file.
+type Writer struct {
+	f      *os.File
+	bw     *bufio.Writer
+	path   string
+	target int
+
+	off int64 // bytes written so far (header included)
+
+	// Current open block.
+	buf        []byte
+	blockCount int
+	blockFirst string
+
+	prev  string
+	n     int64
+	first bool
+
+	index    []indexEntry
+	sections []struct {
+		tag  string
+		data []byte
+	}
+	closed bool
+}
+
+// Create creates (truncating) a block-format file at path and writes
+// its header.
+func Create(path string, opts Options) (*Writer, error) {
+	target := opts.TargetBlockSize
+	if target <= 0 {
+		target = DefaultTargetBlockSize
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	w := &Writer{
+		f:      f,
+		bw:     bufio.NewWriter(f),
+		path:   path,
+		target: target,
+		first:  true,
+	}
+	var hdr [headerSize]byte
+	copy(hdr[:4], Magic[:])
+	hdr[4] = Version
+	hdr[5] = 0 // flags: all reserved in version 1
+	putU32(hdr[6:10], uint32(target))
+	if _, err := w.bw.Write(hdr[:]); err != nil {
+		f.Close()
+		return nil, err
+	}
+	w.off = headerSize
+	return w, nil
+}
+
+// Append adds one value. Values must arrive in strictly increasing
+// order — the same invariant the text writer enforces.
+func (w *Writer) Append(v string) error {
+	if w.closed {
+		return fmt.Errorf("blockfile: append to closed writer %s", w.path)
+	}
+	if !w.first && v <= w.prev {
+		return fmt.Errorf("blockfile: values out of order: %q after %q", v, w.prev)
+	}
+	prefix := 0
+	if w.blockCount == 0 {
+		w.blockFirst = v
+	} else {
+		prefix = commonPrefix(w.prev, v)
+	}
+	w.buf = binary.AppendUvarint(w.buf, uint64(prefix))
+	w.buf = binary.AppendUvarint(w.buf, uint64(len(v)-prefix))
+	w.buf = append(w.buf, v[prefix:]...)
+	w.blockCount++
+	w.n++
+	w.prev = v
+	w.first = false
+	if len(w.buf) >= w.target {
+		return w.flushBlock()
+	}
+	return nil
+}
+
+// SetSection attaches a named section to be written at Close. The tag
+// must be exactly four bytes and unique per file. Setting a section
+// after Close is an error.
+func (w *Writer) SetSection(tag string, data []byte) error {
+	if w.closed {
+		return fmt.Errorf("blockfile: set section on closed writer %s", w.path)
+	}
+	if len(tag) != 4 {
+		return fmt.Errorf("blockfile: section tag %q is not 4 bytes", tag)
+	}
+	for _, s := range w.sections {
+		if s.tag == tag {
+			return fmt.Errorf("blockfile: duplicate section %q", tag)
+		}
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	w.sections = append(w.sections, struct {
+		tag  string
+		data []byte
+	}{tag, cp})
+	return nil
+}
+
+// Len returns the number of values appended so far.
+func (w *Writer) Len() int { return int(w.n) }
+
+// Path returns the file path the writer was created with.
+func (w *Writer) Path() string { return w.path }
+
+func commonPrefix(a, b string) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	return i
+}
+
+func (w *Writer) flushBlock() error {
+	if w.blockCount == 0 {
+		return nil
+	}
+	var hdr [blockHeaderSize]byte
+	putU32(hdr[0:4], uint32(len(w.buf)))
+	putU32(hdr[4:8], crcOf(w.buf))
+	putU32(hdr[8:12], uint32(w.blockCount))
+	if _, err := w.bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.bw.Write(w.buf); err != nil {
+		return err
+	}
+	w.index = append(w.index, indexEntry{off: w.off, count: w.blockCount, first: w.blockFirst})
+	w.off += int64(blockHeaderSize + len(w.buf))
+	w.buf = w.buf[:0]
+	w.blockCount = 0
+	return nil
+}
+
+// Close seals the current block, writes sections, the section
+// directory, the block index and the footer, then closes the file.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	err := w.finish()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func (w *Writer) finish() error {
+	if err := w.flushBlock(); err != nil {
+		return err
+	}
+
+	// Sections, in deterministic tag order, then their directory.
+	sort.Slice(w.sections, func(i, j int) bool { return w.sections[i].tag < w.sections[j].tag })
+	dirs := make([]dirEntry, 0, len(w.sections))
+	for _, s := range w.sections {
+		if _, err := w.bw.Write(s.data); err != nil {
+			return err
+		}
+		dirs = append(dirs, dirEntry{tag: s.tag, off: w.off, len: int64(len(s.data)), crc: crcOf(s.data)})
+		w.off += int64(len(s.data))
+	}
+	dirBlob := make([]byte, 0, len(dirs)*dirEntrySize)
+	for _, d := range dirs {
+		var e [dirEntrySize]byte
+		copy(e[0:4], d.tag)
+		putU64(e[4:12], uint64(d.off))
+		putU64(e[12:20], uint64(d.len))
+		putU32(e[20:24], d.crc)
+		dirBlob = append(dirBlob, e[:]...)
+	}
+	dirOff := w.off
+	if _, err := w.bw.Write(dirBlob); err != nil {
+		return err
+	}
+	w.off += int64(len(dirBlob))
+
+	// Block index: count, per-block (offset, count, first value), then
+	// the file's maximum value so readers know the value span without
+	// touching any block.
+	idx := binary.AppendUvarint(nil, uint64(len(w.index)))
+	for _, e := range w.index {
+		idx = binary.AppendUvarint(idx, uint64(e.off))
+		idx = binary.AppendUvarint(idx, uint64(e.count))
+		idx = binary.AppendUvarint(idx, uint64(len(e.first)))
+		idx = append(idx, e.first...)
+	}
+	idx = binary.AppendUvarint(idx, uint64(len(w.prev)))
+	idx = append(idx, w.prev...)
+	indexOff := w.off
+	if _, err := w.bw.Write(idx); err != nil {
+		return err
+	}
+	w.off += int64(len(idx))
+
+	var ftr [footerSize]byte
+	putU64(ftr[0:8], uint64(indexOff))
+	putU64(ftr[8:16], uint64(len(idx)))
+	putU32(ftr[16:20], crcOf(idx))
+	putU64(ftr[20:28], uint64(dirOff))
+	putU32(ftr[28:32], uint32(len(dirs)))
+	putU32(ftr[32:36], crcOf(dirBlob))
+	putU64(ftr[36:44], uint64(w.n))
+	putU32(ftr[44:48], crcOf(ftr[:44]))
+	copy(ftr[48:52], TailMagic[:])
+	if _, err := w.bw.Write(ftr[:]); err != nil {
+		return err
+	}
+	return w.bw.Flush()
+}

@@ -36,6 +36,10 @@ type Config struct {
 	// abandoned promptly without finishing its I/O; the caller still runs
 	// Discard to remove any spill runs already written.
 	Cancel <-chan struct{}
+	// Format selects the value-file encoding for spill runs and final
+	// output (WriteTo and friends). The zero value is the text format;
+	// readers auto-detect, so mixed-format runs merge fine.
+	Format valfile.Format
 }
 
 // ErrCanceled is returned by sorter operations after Config.Cancel fires.
@@ -114,7 +118,7 @@ func (s *Sorter) spill() error {
 	}
 	path := f.Name()
 	f.Close()
-	if _, err := valfile.WriteAll(path, s.buf); err != nil {
+	if _, err := valfile.WriteAllFormat(path, s.buf, s.cfg.Format); err != nil {
 		os.Remove(path)
 		return err
 	}
@@ -159,6 +163,17 @@ func (s *Sorter) WriteTo(path string) (n int, max string, err error) {
 // value file, touching each distinct value once instead of rescanning
 // the file or the base table.
 func (s *Sorter) WriteToObserved(path string, observe func(string)) (n int, max string, err error) {
+	return s.WriteToFile(path, observe, nil)
+}
+
+// WriteToFile is the general form of WriteTo: observe (may be nil) taps
+// every distinct value in sorted order, and finish (may be nil) runs
+// after the last value but before the writer closes — the window in
+// which block-format callers embed sections derived from the full value
+// stream, such as the attribute sketch (Writer.SetSection). Block
+// outputs always carry a RunMetaSection recording the sorter's
+// provenance.
+func (s *Sorter) WriteToFile(path string, observe func(string), finish func(*valfile.Writer) error) (n int, max string, err error) {
 	if s.closed {
 		return 0, "", fmt.Errorf("extsort: WriteTo after finish")
 	}
@@ -169,22 +184,7 @@ func (s *Sorter) WriteToObserved(path string, observe func(string)) (n int, max 
 	}
 
 	sortDedup(&s.buf)
-
-	if len(s.runs) == 0 {
-		if observe != nil {
-			for _, v := range s.buf {
-				observe(v)
-			}
-		}
-		n, err = valfile.WriteAll(path, s.buf)
-		if err != nil {
-			return 0, "", err
-		}
-		if n > 0 {
-			max = s.buf[n-1]
-		}
-		return n, max, nil
-	}
+	spillRuns := len(s.runs)
 
 	// Intermediate merge passes keep the final fan-in bounded.
 	for len(s.runs) > s.cfg.FanIn {
@@ -193,44 +193,72 @@ func (s *Sorter) WriteToObserved(path string, observe func(string)) (n int, max 
 		}
 	}
 
-	w, err := valfile.Create(path)
+	w, err := valfile.CreateFormat(path, s.cfg.Format)
 	if err != nil {
 		return 0, "", err
 	}
-	merge, err := newMerger(s.runs, s.buf, "")
-	if err != nil {
+	fail := func(err error) (int, string, error) {
 		w.Close()
+		os.Remove(path)
 		return 0, "", err
 	}
-	defer merge.close()
 
-	for out := 0; ; out++ {
-		if out%cancelCheckEvery == 0 && s.canceled() {
-			w.Close()
-			os.Remove(path)
-			return 0, "", ErrCanceled
+	if len(s.runs) == 0 {
+		// Everything fit in memory: write the buffer directly.
+		for _, v := range s.buf {
+			if observe != nil {
+				observe(v)
+			}
+			if err := w.Append(v); err != nil {
+				return fail(err)
+			}
 		}
-		v, ok, err := merge.nextDistinct()
+		if len(s.buf) > 0 {
+			max = s.buf[len(s.buf)-1]
+		}
+	} else {
+		merge, err := newMerger(s.runs, s.buf, "")
 		if err != nil {
-			w.Close()
-			return 0, "", err
+			return fail(err)
 		}
-		if !ok {
-			break
+		defer merge.close()
+		for out := 0; ; out++ {
+			if out%cancelCheckEvery == 0 && s.canceled() {
+				return fail(ErrCanceled)
+			}
+			v, ok, err := merge.nextDistinct()
+			if err != nil {
+				return fail(err)
+			}
+			if !ok {
+				break
+			}
+			if observe != nil {
+				observe(v)
+			}
+			if err := w.Append(v); err != nil {
+				return fail(err)
+			}
 		}
-		if observe != nil {
-			observe(v)
+		max = merge.lastOut
+	}
+
+	if w.Format() == valfile.FormatBlock {
+		meta := RunMeta{Added: s.added, SpillRuns: spillRuns}
+		if err := w.SetSection(valfile.RunMetaSection, meta.encode()); err != nil {
+			return fail(err)
 		}
-		if err := w.Append(v); err != nil {
-			w.Close()
-			return 0, "", err
+	}
+	if finish != nil {
+		if err := finish(w); err != nil {
+			return fail(err)
 		}
 	}
 	n = w.Len()
 	if err := w.Close(); err != nil {
 		return 0, "", err
 	}
-	return n, merge.lastOut, nil
+	return n, max, nil
 }
 
 // cancelCheckEvery is how many merged values pass between cancellation
@@ -257,7 +285,7 @@ func (s *Sorter) mergePass() error {
 	}
 	outPath := f.Name()
 	f.Close()
-	w, err := valfile.Create(outPath)
+	w, err := valfile.CreateFormat(outPath, s.cfg.Format)
 	if err != nil {
 		merge.close()
 		return err
@@ -376,13 +404,15 @@ func (c *MergeCursor) Next() (string, bool) {
 // Err returns the first error encountered, if any.
 func (c *MergeCursor) Err() error { return c.err }
 
-// Close releases the run readers; cursors owning their sorter also remove
-// its spill runs (Runs-backed cursors leave them for the Runs handle).
+// Close releases the run readers, flushing the bytes they read into the
+// cursor's counter; cursors owning their sorter also remove its spill
+// runs (Runs-backed cursors leave them for the Runs handle).
 func (c *MergeCursor) Close() error {
 	if c.closed {
 		return nil
 	}
 	c.closed = true
+	c.counter.AddBytes(c.m.bytesRead())
 	c.m.close()
 	if c.s != nil {
 		c.s.cleanup()
@@ -442,25 +472,23 @@ func (r *Runs) OpenRange(bounds valfile.Range, counter *valfile.ReadCounter) (*M
 	return &MergeCursor{m: m, counter: counter, bounds: bounds}, nil
 }
 
-// Sample returns cheap order statistics for shard boundary selection: the
-// front (first value) of every spill run plus up to k evenly spaced
-// values from the in-memory tail. The samples are not sorted.
+// Sample returns cheap order statistics for shard boundary selection:
+// samples from every spill run (for block-format runs, block-index
+// first values — a whole distribution sketch read without touching any
+// value block; for text runs, the first value) plus up to k evenly
+// spaced values from the in-memory tail. The samples are not sorted.
 func (r *Runs) Sample(k int) ([]string, error) {
 	var out []string
+	perRun := k
+	if perRun <= 0 {
+		perRun = 1
+	}
 	for _, p := range r.runs {
-		reader, err := valfile.Open(p, nil)
+		vals, err := valfile.SampleValues(p, perRun)
 		if err != nil {
 			return nil, err
 		}
-		v, ok := reader.Next()
-		rerr := reader.Err()
-		reader.Close()
-		if rerr != nil {
-			return nil, rerr
-		}
-		if ok {
-			out = append(out, v)
-		}
+		out = append(out, vals...)
 	}
 	if k > 0 && len(r.mem) > 0 {
 		step := len(r.mem) / k
@@ -608,6 +636,17 @@ func (m *merger) nextDistinct() (string, bool, error) {
 		m.lastOut, m.haveOut = v, true
 		return v, true, nil
 	}
+}
+
+// bytesRead sums the raw bytes the merger's run readers have consumed.
+func (m *merger) bytesRead() int64 {
+	var n int64
+	for _, r := range m.readers {
+		if r != nil {
+			n += r.BytesRead()
+		}
+	}
+	return n
 }
 
 func (m *merger) close() {

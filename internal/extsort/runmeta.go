@@ -1,0 +1,55 @@
+package extsort
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"spider/internal/valfile"
+)
+
+// RunMeta is the sorter provenance embedded in block-format output
+// files under valfile.RunMetaSection: how many values were pushed
+// through the sorter (duplicates included) and how many spill runs the
+// final merge consumed. The added count recovers the per-attribute
+// duplication factor without re-touching the base data; the run count
+// records whether the attribute fit in memory.
+type RunMeta struct {
+	Added     int64
+	SpillRuns int
+}
+
+const runMetaLen = 16
+
+// encode serializes the metadata (two little-endian u64s).
+func (m RunMeta) encode() []byte {
+	b := make([]byte, runMetaLen)
+	binary.LittleEndian.PutUint64(b[0:8], uint64(m.Added))
+	binary.LittleEndian.PutUint64(b[8:16], uint64(m.SpillRuns))
+	return b
+}
+
+// DecodeRunMeta parses a RunMetaSection payload.
+func DecodeRunMeta(b []byte) (RunMeta, error) {
+	if len(b) != runMetaLen {
+		return RunMeta{}, fmt.Errorf("extsort: run metadata is %d bytes, want %d", len(b), runMetaLen)
+	}
+	return RunMeta{
+		Added:     int64(binary.LittleEndian.Uint64(b[0:8])),
+		SpillRuns: int(int64(binary.LittleEndian.Uint64(b[8:16]))),
+	}, nil
+}
+
+// ReadRunMeta returns the run metadata embedded in the value file at
+// path. ok is false when the file is text-format or predates the
+// section.
+func ReadRunMeta(path string) (meta RunMeta, ok bool, err error) {
+	data, ok, err := valfile.ReadSection(path, valfile.RunMetaSection)
+	if err != nil || !ok {
+		return RunMeta{}, false, err
+	}
+	meta, err = DecodeRunMeta(data)
+	if err != nil {
+		return RunMeta{}, false, err
+	}
+	return meta, true, nil
+}

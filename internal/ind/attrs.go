@@ -7,6 +7,7 @@
 package ind
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"os"
@@ -117,6 +118,11 @@ type ExportConfig struct {
 	// SketchConfig sizes the sketches; the zero value selects the
 	// sketch package defaults.
 	SketchConfig sketch.Config
+	// Format selects the value-file encoding (and the spill-run encoding,
+	// via Sort.Format). The zero value is the text format. Block-format
+	// exports embed the sketch inside the value file instead of writing a
+	// sidecar, so one attribute is one file open.
+	Format valfile.Format
 }
 
 // ExportAttributes writes each attribute's sorted distinct value file into
@@ -135,6 +141,7 @@ func ExportAttributes(db *relstore.Database, attrs []*Attribute, cfg ExportConfi
 	if cfg.Sort.TempDir == "" {
 		cfg.Sort.TempDir = cfg.Dir
 	}
+	cfg.Sort.Format = cfg.Format
 	return forEachAttribute(attrs, cfg.Workers, func(a *Attribute) error {
 		return exportAttribute(db, a, cfg)
 	})
@@ -195,13 +202,28 @@ func exportAttribute(db *relstore.Database, a *Attribute, cfg ExportConfig) erro
 	if err != nil {
 		return err
 	}
-	defer sorter.Discard() // no-op after WriteToObserved; reclaims runs on early error
+	defer sorter.Discard() // no-op after WriteToFile; reclaims runs on early error
 	// The sketch taps the final merge rather than the raw column scan:
 	// each distinct value is observed exactly once, so the builder does
 	// per-distinct work instead of per-row work.
 	builder, observe := sketchObserver(cfg, a)
+	// For block-format exports the finished sketch is embedded as a
+	// section of the value file itself — the finish hook runs after the
+	// last value is appended, exactly when the builder is complete, and
+	// before the writer seals the file. Text exports keep the sidecar.
+	var finish func(*valfile.Writer) error
+	if builder != nil && cfg.Format == valfile.FormatBlock {
+		finish = func(w *valfile.Writer) error {
+			a.Sketch = builder.Finish()
+			var buf bytes.Buffer
+			if err := a.Sketch.Encode(&buf); err != nil {
+				return err
+			}
+			return w.SetSection(valfile.SketchSection, buf.Bytes())
+		}
+	}
 	path := filepath.Join(cfg.Dir, attrFileName(a))
-	n, max, err := sorter.WriteToObserved(path, observe)
+	n, max, err := sorter.WriteToFile(path, observe, finish)
 	if err != nil {
 		return err
 	}
@@ -210,7 +232,7 @@ func exportAttribute(db *relstore.Database, a *Attribute, cfg ExportConfig) erro
 	}
 	a.Path = path
 	a.MaxCanonical = max
-	if builder != nil {
+	if builder != nil && a.Sketch == nil {
 		a.Sketch = builder.Finish()
 		if err := a.Sketch.WriteFile(path + sketch.FileSuffix); err != nil {
 			return err
@@ -219,13 +241,27 @@ func exportAttribute(db *relstore.Database, a *Attribute, cfg ExportConfig) erro
 	return nil
 }
 
-// LoadSketches fills Attribute.Sketch from the sketch files persisted
-// next to each attribute's exported value file. Attributes without a
-// value file or without a persisted sketch are skipped; a present but
-// unreadable sketch is an error.
+// LoadSketches fills Attribute.Sketch from persisted sketches: the
+// SketchSection embedded in block-format value files first, then the
+// sidecar file next to the value file (the text-format home, and the
+// fallback for block files written before sketches were enabled).
+// Attributes without a value file or without a persisted sketch are
+// skipped; a present but unreadable sketch is an error.
 func LoadSketches(attrs []*Attribute) error {
 	for _, a := range attrs {
 		if a.Sketch != nil || a.Path == "" {
+			continue
+		}
+		data, ok, err := valfile.ReadSection(a.Path, valfile.SketchSection)
+		if err != nil {
+			return fmt.Errorf("ind: %s: %w", a.Ref, err)
+		}
+		if ok {
+			s, err := sketch.Decode(bytes.NewReader(data))
+			if err != nil {
+				return fmt.Errorf("ind: %s: embedded sketch: %w", a.Ref, err)
+			}
+			a.Sketch = s
 			continue
 		}
 		s, err := sketch.ReadFile(a.Path + sketch.FileSuffix)
@@ -288,6 +324,7 @@ func sketchObserver(cfg ExportConfig, a *Attribute) (*sketch.Builder, func(strin
 // same bounded worker pool as ExportAttributes (cfg.Workers). counter may
 // be nil.
 func StreamAttributes(db *relstore.Database, attrs []*Attribute, cfg ExportConfig, counter *valfile.ReadCounter) (*SorterSource, error) {
+	cfg.Sort.Format = cfg.Format
 	src := NewSorterSource(counter)
 	var mu sync.Mutex
 	err := forEachAttribute(attrs, cfg.Workers, func(a *Attribute) error {
@@ -320,6 +357,7 @@ func StreamAttributes(db *relstore.Database, attrs []*Attribute, cfg ExportConfi
 // on the extraction worker pool. Attribute.Path stays empty; cfg.Dir is
 // unused. counter may be nil.
 func StreamAttributesShared(db *relstore.Database, attrs []*Attribute, cfg ExportConfig, counter *valfile.ReadCounter) (*RunsSource, error) {
+	cfg.Sort.Format = cfg.Format
 	src := NewRunsSource(counter)
 	var mu sync.Mutex
 	err := forEachAttribute(attrs, cfg.Workers, func(a *Attribute) error {

@@ -10,9 +10,15 @@ import (
 // Stats summarises the work an IND discovery run performed. ItemsRead is
 // the paper's Figure 5 metric ("number of items read").
 type Stats struct {
-	Candidates   int
-	Satisfied    int
-	ItemsRead    int64
+	Candidates int
+	Satisfied  int
+	ItemsRead  int64
+	// BytesRead is the raw bytes pulled from value files (both formats
+	// count; block files include headers, index and checksums), filled by
+	// the file-backed engines from the same counter as ItemsRead. It is
+	// the metric that compares the text and block encodings' I/O for
+	// identical delivered items.
+	BytesRead    int64
 	Comparisons  int64
 	FilesOpened  int
 	MaxOpenFiles int
@@ -117,6 +123,7 @@ func BruteForce(cands []Candidate, opts BruteForceOptions) (*Result, error) {
 	}
 	res.Stats.Satisfied = len(res.Satisfied)
 	res.Stats.ItemsRead = totalRead(opts.Counter)
+	res.Stats.BytesRead = totalBytes(opts.Counter)
 	res.Stats.Duration = time.Since(start)
 	sortINDs(res.Satisfied)
 	return res, nil

@@ -14,3 +14,13 @@ func totalRead(c *valfile.ReadCounter) int64 {
 	}
 	return c.Total()
 }
+
+// totalBytes is totalRead's byte-level sibling, filling Stats.BytesRead
+// under the same nil-counter contract. Readers flush their byte tally on
+// Close, so engines read it only after their cursors are closed.
+func totalBytes(c *valfile.ReadCounter) int64 {
+	if c == nil {
+		return 0
+	}
+	return c.TotalBytes()
+}

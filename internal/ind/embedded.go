@@ -124,6 +124,8 @@ type EmbeddedOptions struct {
 	MergeWorkers int
 	// Planner (EmbeddedMerge only) selects the shard boundary planner.
 	Planner ShardPlanner
+	// Format selects the encoding of the derived value files.
+	Format valfile.Format
 }
 
 // EmbeddedResult is the outcome of FindEmbedded.
@@ -250,6 +252,7 @@ func FindEmbedded(db *relstore.Database, attrs []*Attribute, opts EmbeddedOption
 	sortEmbedded(res.Satisfied)
 	res.Stats.Satisfied = len(res.Satisfied)
 	res.Stats.ItemsRead = totalRead(opts.Counter)
+	res.Stats.BytesRead = totalBytes(opts.Counter)
 	res.Stats.Duration = time.Since(start)
 	return res, nil
 }
@@ -287,7 +290,7 @@ func deriveAttributes(db *relstore.Database, attrs []*Attribute, opts EmbeddedOp
 			return nil, fmt.Errorf("ind: unknown table %q", a.Ref.Table)
 		}
 		for _, tr := range opts.Transforms {
-			sorter := extsort.New(extsort.Config{TempDir: opts.Dir})
+			sorter := extsort.New(extsort.Config{TempDir: opts.Dir, Format: opts.Format})
 			var addErr error
 			min, seen := "", false
 			if _, err := tab.ScanColumn(a.Ref.Column, func(v value.Value) {

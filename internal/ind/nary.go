@@ -158,12 +158,19 @@ type NaryStats struct {
 	// ItemsReadByArity counts values read from sorted streams per level
 	// (merge-backed levels only; in-memory levels read no streams).
 	ItemsReadByArity []int64
+	// BytesReadByArity counts raw bytes pulled from the per-level value
+	// streams (merge-backed levels only). Levels >= 2 stream encoded
+	// tuples with long shared prefixes, so this is where the block
+	// format's front coding shows up against the text format.
+	BytesReadByArity []int64
 	// TuplesCompared counts tuple probes: hash-set probes for the
 	// reference engine, merge-front comparisons for the merge engine.
 	TuplesCompared int64
 	// ItemsRead totals ItemsReadByArity; it is accumulated incrementally
-	// as levels finish, not recomputed at the end.
+	// as levels finish, not recomputed at the end. BytesRead totals
+	// BytesReadByArity the same way.
 	ItemsRead int64
+	BytesRead int64
 	// LevelDurations holds per-level wall time (index = arity; entry 0
 	// unused), filled as each level completes.
 	LevelDurations []time.Duration
@@ -266,6 +273,7 @@ func DiscoverNary(db *relstore.Database, opts NaryOptions) (*NaryResult, error) 
 	res.Stats.CandidatesByArity = make([]int, opts.MaxArity+1)
 	res.Stats.SatisfiedByArity = make([]int, opts.MaxArity+1)
 	res.Stats.ItemsReadByArity = make([]int64, opts.MaxArity+1)
+	res.Stats.BytesReadByArity = make([]int64, opts.MaxArity+1)
 	res.Stats.LevelDurations = make([]time.Duration, opts.MaxArity+1)
 
 	verifier := newTupleVerifier(db, &res.Stats)
@@ -287,6 +295,7 @@ func DiscoverNary(db *relstore.Database, opts NaryOptions) (*NaryResult, error) 
 	emitLevel := func(arity int, levelStart time.Time) {
 		res.Stats.LevelDurations[arity] = time.Since(levelStart)
 		res.Stats.ItemsRead += res.Stats.ItemsReadByArity[arity]
+		res.Stats.BytesRead += res.Stats.BytesReadByArity[arity]
 		if opts.LevelProgress != nil {
 			opts.LevelProgress(LevelProgress{
 				Arity:      arity,
@@ -395,6 +404,7 @@ func unarySeed(db *relstore.Database, eligible []*Attribute, opts NaryOptions, w
 			return nil, err
 		}
 		res.Stats.ItemsReadByArity[1] = counter.Total()
+		res.Stats.BytesReadByArity[1] = counter.TotalBytes()
 		res.Stats.TuplesCompared += merged.Stats.Comparisons
 		var current []naryCand
 		for _, d := range merged.Satisfied {
@@ -436,8 +446,9 @@ func unarySeed(db *relstore.Database, eligible []*Attribute, opts NaryOptions, w
 func mergeUnarySeed(db *relstore.Database, eligible []*Attribute, cands []Candidate, opts NaryOptions, workDir string, counter *valfile.ReadCounter) (*Result, error) {
 	exportCfg := ExportConfig{
 		Dir:     workDir,
-		Sort:    extsort.Config{TempDir: workDir},
+		Sort:    extsort.Config{TempDir: workDir, Format: opts.Sort.Format},
 		Workers: naryWorkers(opts.ExportWorkers),
+		Format:  opts.Sort.Format,
 	}
 	if opts.Shards > 1 {
 		smOpts := ShardedMergeOptions{Counter: counter, Shards: opts.Shards, Workers: opts.MergeWorkers}

@@ -169,6 +169,7 @@ func (m *mergeLevelVerifier) verifyCands(arity int, cands []naryCand) ([]bool, e
 	}
 	m.mu.Lock()
 	m.stats.ItemsReadByArity[arity] += counter.Total()
+	m.stats.BytesReadByArity[arity] += counter.TotalBytes()
 	m.stats.TuplesCompared += res.Stats.Comparisons
 	m.mu.Unlock()
 	return out, nil

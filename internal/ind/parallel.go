@@ -90,6 +90,7 @@ func BruteForceParallel(cands []Candidate, opts ParallelOptions) (*Result, error
 	res.Stats.FilesOpened = int(filesOpened.Load())
 	res.Stats.MaxOpenFiles = 2 * opts.Workers
 	res.Stats.ItemsRead = totalRead(opts.Counter)
+	res.Stats.BytesRead = totalBytes(opts.Counter)
 	res.Stats.Duration = time.Since(start)
 	sortINDs(res.Satisfied)
 	return res, nil

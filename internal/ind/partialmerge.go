@@ -205,6 +205,7 @@ func finishPartialResult(res *PartialResult, candidates int, counter *valfile.Re
 	res.Stats.Candidates = candidates
 	res.Stats.Satisfied = len(res.Satisfied)
 	res.Stats.ItemsRead = totalRead(counter)
+	res.Stats.BytesRead = totalBytes(counter)
 	res.Stats.Duration = time.Since(start)
 	sort.Slice(res.Satisfied, func(i, j int) bool {
 		if res.Satisfied[i].Dep != res.Satisfied[j].Dep {

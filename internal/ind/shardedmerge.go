@@ -162,6 +162,7 @@ func ShardedSpiderMerge(cands []Candidate, opts ShardedMergeOptions) (*Result, e
 	res.Stats.Candidates = len(cands)
 	res.Stats.Satisfied = len(res.Satisfied)
 	res.Stats.ItemsRead = totalRead(opts.Counter)
+	res.Stats.BytesRead = totalBytes(opts.Counter)
 	fillShardStats(&res.Stats, plan, shardReads, shardTimes)
 	res.Stats.Duration = time.Since(start)
 	sortINDs(res.Satisfied)

@@ -45,6 +45,7 @@ func SpiderMerge(cands []Candidate, opts SpiderMergeOptions) (*Result, error) {
 	res.Stats.Candidates = len(cands)
 	res.Stats.Satisfied = len(res.Satisfied)
 	res.Stats.ItemsRead = totalRead(opts.Counter)
+	res.Stats.BytesRead = totalBytes(opts.Counter)
 	res.Stats.Duration = time.Since(start)
 	sortINDs(res.Satisfied)
 	return res, nil

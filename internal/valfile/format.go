@@ -1,0 +1,135 @@
+package valfile
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"spider/internal/blockfile"
+)
+
+// Format selects the on-disk encoding of a value file. Readers never
+// need it — they sniff the file — but writers must choose.
+type Format int
+
+const (
+	// FormatText is the seed encoding: newline-framed, backslash-escaped
+	// records. Human-inspectable, no metadata.
+	FormatText Format = iota
+	// FormatBlock is the columnar binary encoding (internal/blockfile):
+	// front-coded checksummed blocks, a block index for range seeks, and
+	// embedded sections for the sketch and run metadata.
+	FormatBlock
+)
+
+// String returns the name accepted by ParseFormat.
+func (f Format) String() string {
+	switch f {
+	case FormatText:
+		return "text"
+	case FormatBlock:
+		return "block"
+	default:
+		return fmt.Sprintf("Format(%d)", int(f))
+	}
+}
+
+// ParseFormat converts a format name ("text" or "block") to a Format.
+func ParseFormat(s string) (Format, error) {
+	switch s {
+	case "text":
+		return FormatText, nil
+	case "block":
+		return FormatBlock, nil
+	default:
+		return 0, fmt.Errorf("valfile: unknown format %q (want text or block)", s)
+	}
+}
+
+// Section tags embedded in block-format files. Text files carry no
+// sections; their sketch lives in a sidecar (sketch.FileSuffix).
+const (
+	// SketchSection holds the attribute's encoded KMV+bloom sketch.
+	SketchSection = blockfile.SectionSketch
+	// RunMetaSection holds extsort provenance (see extsort.RunMeta).
+	RunMetaSection = blockfile.SectionRunMeta
+)
+
+// DetectFormat reports the encoding of the file at path by sniffing its
+// first bytes. Files shorter than the magic are text (an empty text
+// file is zero bytes; no block file is shorter than its header).
+func DetectFormat(path string) (Format, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("valfile: %w", err)
+	}
+	defer f.Close()
+	var magic [4]byte
+	n, err := f.ReadAt(magic[:], 0)
+	if err != nil && err != io.EOF {
+		return 0, fmt.Errorf("valfile: %s: %w", path, err)
+	}
+	if blockfile.HasMagic(magic[:n]) {
+		return FormatBlock, nil
+	}
+	return FormatText, nil
+}
+
+// ReadSection returns the payload of the named embedded section of the
+// file at path. ok is false when the file is text-format or has no such
+// section; err is non-nil only for I/O or corruption problems.
+func ReadSection(path, tag string) (data []byte, ok bool, err error) {
+	format, err := DetectFormat(path)
+	if err != nil {
+		return nil, false, err
+	}
+	if format != FormatBlock {
+		return nil, false, nil
+	}
+	blk, err := blockfile.Open(path)
+	if err != nil {
+		return nil, false, fmt.Errorf("valfile: %w", err)
+	}
+	defer blk.Close()
+	return blk.Section(tag)
+}
+
+// SampleValues returns up to max values sampled from the sorted file at
+// path, in increasing order, always including the file's first value
+// when it has one. Block files sample block-index first values without
+// reading any block — an O(index) distribution sketch for shard
+// planning; text files fall back to the first record only.
+func SampleValues(path string, max int) ([]string, error) {
+	if max <= 0 {
+		return nil, nil
+	}
+	format, err := DetectFormat(path)
+	if err != nil {
+		return nil, err
+	}
+	if format == FormatBlock {
+		blk, err := blockfile.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("valfile: %w", err)
+		}
+		defer blk.Close()
+		firsts := blk.BlockFirstValues()
+		if len(firsts) <= max {
+			return firsts, nil
+		}
+		out := make([]string, 0, max)
+		for i := 0; i < max; i++ {
+			out = append(out, firsts[i*len(firsts)/max])
+		}
+		return out, nil
+	}
+	r, err := Open(path, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	if v, ok := r.Next(); ok {
+		return []string{v}, nil
+	}
+	return nil, r.Err()
+}

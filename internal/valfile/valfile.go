@@ -1,12 +1,22 @@
 // Package valfile implements the sorted value files both database-external
 // algorithms traverse (Sec 3 of the paper: "All value sets are extracted
 // from the database and stored in sorted files"). A value file holds one
-// attribute's sorted set of distinct canonical values, one value per
-// record, newline framed with backslash escaping so arbitrary strings
-// (including embedded newlines) round-trip.
+// attribute's sorted set of distinct canonical values in one of two
+// encodings behind a single Reader/Writer API:
+//
+//   - FormatText (the seed format): one value per record, newline framed
+//     with backslash escaping so arbitrary strings round-trip.
+//   - FormatBlock (internal/blockfile): front-coded checksummed blocks
+//     with a block index and embedded sections (sketch, run metadata).
+//
+// Readers auto-detect the encoding from the file's first bytes — the
+// block magic starts with '\n', a byte no non-empty text file can start
+// with — so every consumer works on either format unchanged.
 //
 // Readers count every item delivered; the counters regenerate the paper's
-// Figure 5 (number of items read, brute force vs single pass).
+// Figure 5 (number of items read, brute force vs single pass) and, since
+// the block format landed, also tally raw bytes read so the formats'
+// I/O can be compared directly.
 package valfile
 
 import (
@@ -16,6 +26,8 @@ import (
 	"os"
 	"strings"
 	"sync/atomic"
+
+	"spider/internal/blockfile"
 )
 
 // escape makes a value newline-safe: backslash and newline are escaped.
@@ -68,25 +80,55 @@ func unescape(s string) (string, error) {
 	return b.String(), nil
 }
 
-// Writer streams values into a value file. Values must be appended in
-// strictly increasing order; Writer enforces the sorted-distinct invariant
-// that every consumer relies on.
+// Writer streams values into a value file in the format chosen at
+// creation. Values must be appended in strictly increasing order; Writer
+// enforces the sorted-distinct invariant that every consumer relies on.
 type Writer struct {
-	f     *os.File
-	bw    *bufio.Writer
+	// Text backend.
+	f  *os.File
+	bw *bufio.Writer
+	// Block backend (nil for text files).
+	blk *blockfile.Writer
+
 	n     int
 	last  string
 	first bool
 	path  string
 }
 
-// Create opens path for writing, truncating any existing file.
+// Create opens path for writing in the legacy text format, truncating
+// any existing file. Equivalent to CreateFormat(path, FormatText).
 func Create(path string) (*Writer, error) {
-	f, err := os.Create(path)
-	if err != nil {
-		return nil, fmt.Errorf("valfile: %w", err)
+	return CreateFormat(path, FormatText)
+}
+
+// CreateFormat opens path for writing in the given format, truncating
+// any existing file.
+func CreateFormat(path string, format Format) (*Writer, error) {
+	switch format {
+	case FormatBlock:
+		blk, err := blockfile.Create(path, blockfile.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("valfile: %w", err)
+		}
+		return &Writer{blk: blk, first: true, path: path}, nil
+	case FormatText:
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, fmt.Errorf("valfile: %w", err)
+		}
+		return &Writer{f: f, bw: bufio.NewWriterSize(f, 64<<10), first: true, path: path}, nil
+	default:
+		return nil, fmt.Errorf("valfile: unknown format %d", format)
 	}
-	return &Writer{f: f, bw: bufio.NewWriterSize(f, 64<<10), first: true, path: path}, nil
+}
+
+// Format returns the encoding this writer produces.
+func (w *Writer) Format() Format {
+	if w.blk != nil {
+		return FormatBlock
+	}
+	return FormatText
 }
 
 // Append writes one value. It fails if v is not strictly greater than the
@@ -98,17 +140,35 @@ func (w *Writer) Append(v string) error {
 	w.first = false
 	w.last = v
 	w.n++
+	if w.blk != nil {
+		return w.blk.Append(v)
+	}
 	if _, err := w.bw.WriteString(escape(v)); err != nil {
 		return err
 	}
 	return w.bw.WriteByte('\n')
 }
 
+// SetSection attaches a named section (see the blockfile tags) to be
+// embedded when the file is closed. Only the block format carries
+// sections; setting one on a text writer is an error, so callers must
+// branch on Format() — typically falling back to a sidecar file.
+func (w *Writer) SetSection(tag string, data []byte) error {
+	if w.blk == nil {
+		return fmt.Errorf("valfile: %s: sections require the block format", w.path)
+	}
+	return w.blk.SetSection(tag, data)
+}
+
 // Len returns the number of values appended so far.
 func (w *Writer) Len() int { return w.n }
 
-// Close flushes and closes the file.
+// Close flushes and closes the file. For block files this writes the
+// index, sections and footer — an unclosed block file is unreadable.
 func (w *Writer) Close() error {
+	if w.blk != nil {
+		return w.blk.Close()
+	}
 	if err := w.bw.Flush(); err != nil {
 		w.f.Close()
 		return err
@@ -116,10 +176,13 @@ func (w *Writer) Close() error {
 	return w.f.Close()
 }
 
-// ReadCounter tallies items read across any number of readers. It is the
-// measurement instrument for Figure 5. Safe for concurrent use.
+// ReadCounter tallies items and bytes read across any number of readers.
+// The item count is the measurement instrument for Figure 5; the byte
+// count compares the formats' I/O for the same delivered items. Safe for
+// concurrent use.
 type ReadCounter struct {
 	n atomic.Int64
+	b atomic.Int64
 }
 
 // Add records n items read.
@@ -137,10 +200,27 @@ func (c *ReadCounter) Total() int64 {
 	return c.n.Load()
 }
 
+// AddBytes records n raw bytes read from disk.
+func (c *ReadCounter) AddBytes(n int64) {
+	if c != nil {
+		c.b.Add(n)
+	}
+}
+
+// TotalBytes returns the raw bytes read so far. Readers flush their
+// byte tally on Close, so the total is complete once readers are closed.
+func (c *ReadCounter) TotalBytes() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.b.Load()
+}
+
 // Reset zeroes the counter.
 func (c *ReadCounter) Reset() {
 	if c != nil {
 		c.n.Store(0)
+		c.b.Store(0)
 	}
 }
 
@@ -163,18 +243,38 @@ func (r Range) Contains(v string) bool {
 // Unbounded reports whether the range covers the whole value space.
 func (r Range) Unbounded() bool { return r.Lo == "" && !r.HasHi }
 
-// Reader iterates a value file's values in order. Each successful Next
-// increments both the per-reader count and the shared ReadCounter (if
-// any). The zero Reader is not usable; use Open.
+// countingReader counts raw bytes pulled from the underlying reader.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// Reader iterates a value file's values in order, whichever format the
+// file is in. Each successful Next increments both the per-reader count
+// and the shared ReadCounter (if any); Close flushes the reader's byte
+// tally into the counter. The zero Reader is not usable; use Open.
 type Reader struct {
-	f       *os.File
-	sc      *bufio.Scanner
+	// Text backend.
+	f          *os.File
+	sc         *bufio.Scanner
+	cr         *countingReader
+	probeBytes int64
+	// Block backend (nil for text files).
+	blk *blockfile.Reader
+
 	counter *ReadCounter
 	read    int64
 	err     error
 	done    bool
 	path    string
 	bounds  Range
+	flushed bool
 }
 
 // Open opens a value file for reading. counter may be nil.
@@ -187,26 +287,55 @@ func Open(path string, counter *ReadCounter) (*Reader, error) {
 // at the upper bound. Skipped values are not counted — the counters
 // measure items delivered to the algorithms, the paper's Figure 5 metric.
 //
-// A lower bound does not cost a linear scan of the prefix: records are
-// newline-framed and sorted, so the reader binary-searches raw byte
-// offsets (a probe seeks, aligns to the next record boundary, and reads
-// one value) and starts within one probe window of the first in-range
-// record. Range shards therefore pay I/O roughly proportional to their
-// own slice of the file.
+// The format is sniffed from the first bytes of the file. A lower bound
+// does not cost a linear scan of the prefix in either format: block
+// files binary-search the block index to the one block that can contain
+// Lo; text files binary-search raw byte offsets (a probe seeks, aligns
+// to the next record boundary, and reads one value) and start within
+// one probe window of the first in-range record. Range shards therefore
+// pay I/O roughly proportional to their own slice of the file.
 func OpenRange(path string, counter *ReadCounter, bounds Range) (*Reader, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("valfile: %w", err)
 	}
+	var magic [4]byte
+	n, err := f.ReadAt(magic[:], 0)
+	if err != nil && err != io.EOF {
+		f.Close()
+		return nil, fmt.Errorf("valfile: %s: %w", path, err)
+	}
+	if blockfile.HasMagic(magic[:n]) {
+		f.Close()
+		blk, err := blockfile.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("valfile: %w", err)
+		}
+		if bounds.Lo != "" {
+			blk.SeekLowerBound(bounds.Lo)
+		}
+		return &Reader{blk: blk, counter: counter, path: path, bounds: bounds}, nil
+	}
+	r := &Reader{f: f, counter: counter, path: path, bounds: bounds}
 	if bounds.Lo != "" {
-		if _, err := seekLowerBound(f, bounds.Lo); err != nil {
+		if _, err := seekLowerBound(f, bounds.Lo, &r.probeBytes); err != nil {
 			f.Close()
 			return nil, fmt.Errorf("valfile: %s: %w", path, err)
 		}
 	}
-	sc := bufio.NewScanner(f)
+	r.cr = &countingReader{r: f}
+	sc := bufio.NewScanner(r.cr)
 	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
-	return &Reader{f: f, sc: sc, counter: counter, path: path, bounds: bounds}, nil
+	r.sc = sc
+	return r, nil
+}
+
+// Format returns the encoding of the open file.
+func (r *Reader) Format() Format {
+	if r.blk != nil {
+		return FormatBlock
+	}
+	return FormatText
 }
 
 // seekProbeWindow is the bisection stop: once the candidate window is
@@ -216,8 +345,9 @@ const seekProbeWindow = 64 << 10
 // seekLowerBound positions f at a record boundary at or before the first
 // record with value >= lo, by binary search over byte offsets. The
 // caller's skip loop handles the (short) remaining prefix, so the search
-// only needs to be approximately right, never wrong.
-func seekLowerBound(f *os.File, lo string) (int64, error) {
+// only needs to be approximately right, never wrong. Bytes consumed by
+// the probes are added to *probed.
+func seekLowerBound(f *os.File, lo string, probed *int64) (int64, error) {
 	st, err := f.Stat()
 	if err != nil {
 		return 0, err
@@ -230,7 +360,7 @@ func seekLowerBound(f *os.File, lo string) (int64, error) {
 	low, high := int64(0), size
 	for high-low > seekProbeWindow {
 		mid := (low + high) / 2
-		start, val, ok, err := probeRecord(f, mid, size)
+		start, val, ok, err := probeRecord(f, mid, size, probed)
 		if err != nil {
 			return 0, err
 		}
@@ -258,9 +388,11 @@ func seekLowerBound(f *os.File, lo string) (int64, error) {
 // complete record beginning at or after off. ok is false when no record
 // starts before the end of the file. Appended files always end in '\n',
 // so every record located this way is complete.
-func probeRecord(f *os.File, off, size int64) (start int64, val string, ok bool, err error) {
+func probeRecord(f *os.File, off, size int64, probed *int64) (start int64, val string, ok bool, err error) {
 	start = off
-	br := bufio.NewReaderSize(io.NewSectionReader(f, off, size-off), 64<<10)
+	cr := &countingReader{r: io.NewSectionReader(f, off, size-off)}
+	defer func() { *probed += cr.n }()
+	br := bufio.NewReaderSize(cr, 64<<10)
 	if off > 0 {
 		// off may fall mid-record: align to the byte after the next '\n'.
 		skipped, err := br.ReadBytes('\n')
@@ -286,6 +418,33 @@ func probeRecord(f *os.File, off, size int64) (start int64, val string, ok bool,
 	return start, v, true, nil
 }
 
+// rawNext pulls the next value from the backend, before range filtering.
+func (r *Reader) rawNext() (string, bool) {
+	if r.blk != nil {
+		v, ok := r.blk.Next()
+		if !ok {
+			r.done = true
+			if err := r.blk.Err(); err != nil {
+				r.err = err
+			}
+			return "", false
+		}
+		return v, true
+	}
+	if !r.sc.Scan() {
+		r.done = true
+		r.err = r.sc.Err()
+		return "", false
+	}
+	v, err := unescape(r.sc.Text())
+	if err != nil {
+		r.err = fmt.Errorf("%s: %w", r.path, err)
+		r.done = true
+		return "", false
+	}
+	return v, true
+}
+
 // Next returns the next value. ok is false at end of file or on error;
 // check Err after the iteration ends.
 func (r *Reader) Next() (v string, ok bool) {
@@ -293,15 +452,8 @@ func (r *Reader) Next() (v string, ok bool) {
 		if r.done || r.err != nil {
 			return "", false
 		}
-		if !r.sc.Scan() {
-			r.done = true
-			r.err = r.sc.Err()
-			return "", false
-		}
-		v, err := unescape(r.sc.Text())
-		if err != nil {
-			r.err = fmt.Errorf("%s: %w", r.path, err)
-			r.done = true
+		v, ok := r.rawNext()
+		if !ok {
 			return "", false
 		}
 		if v < r.bounds.Lo {
@@ -320,16 +472,43 @@ func (r *Reader) Next() (v string, ok bool) {
 // Read returns the number of items this reader has delivered.
 func (r *Reader) Read() int64 { return r.read }
 
+// BytesRead returns the raw bytes this reader has pulled from disk:
+// block headers/index/payloads for block files; scanned bytes plus
+// lower-bound probe bytes for text files.
+func (r *Reader) BytesRead() int64 {
+	if r.blk != nil {
+		return r.blk.BytesRead()
+	}
+	return r.cr.n + r.probeBytes
+}
+
 // Err returns the first error encountered, if any.
 func (r *Reader) Err() error { return r.err }
 
-// Close releases the underlying file.
-func (r *Reader) Close() error { return r.f.Close() }
+// Close releases the underlying file, flushing this reader's byte tally
+// into the shared counter (once).
+func (r *Reader) Close() error {
+	if !r.flushed {
+		r.flushed = true
+		r.counter.AddBytes(r.BytesRead())
+	}
+	if r.blk != nil {
+		return r.blk.Close()
+	}
+	return r.f.Close()
+}
 
-// WriteAll creates a value file at path from an already sorted, distinct
-// slice. It is a convenience for tests and small exports.
+// WriteAll creates a text-format value file at path from an already
+// sorted, distinct slice. It is a convenience for tests and small
+// exports; format-aware callers use WriteAllFormat.
 func WriteAll(path string, sorted []string) (int, error) {
-	w, err := Create(path)
+	return WriteAllFormat(path, sorted, FormatText)
+}
+
+// WriteAllFormat creates a value file at path in the given format from
+// an already sorted, distinct slice.
+func WriteAllFormat(path string, sorted []string, format Format) (int, error) {
+	w, err := CreateFormat(path, format)
 	if err != nil {
 		return 0, err
 	}

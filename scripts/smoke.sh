@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # End-to-end smoke test: build cmd/indfind and profile the CSV tables in
-# examples/data in exact, partial and n-ary modes, asserting that each
-# mode discovers the INDs planted in the data and exits zero. CI runs
-# this on every push; it is also handy locally:
+# examples/data in exact, partial and n-ary modes — in both value-file
+# encodings (-format text and -format block) — asserting that each mode
+# discovers the INDs planted in the data and exits zero. CI runs this on
+# every push; it is also handy locally:
 #
 #   ./scripts/smoke.sh
 set -euo pipefail
@@ -15,34 +16,36 @@ data=examples/data
 
 fail() { echo "smoke: $*" >&2; exit 1; }
 
-# Exact discovery: transcripts.gene_id ⊆ genes.gene_id must be found by
-# every engine, with and without the sketch pre-filter.
-for args in \
-  "-algo brute-force" \
-  "-algo spider-merge" \
-  "-algo spider-merge -sketch" \
-  "-algo spider-merge -streaming -shards 4 -sketch" \
-  "-algo in-memory"; do
-  echo "+ indfind -csv $data $args"
-  # shellcheck disable=SC2086
-  out=$("$bin" -csv "$data" $args)
-  grep -q "transcripts.gene_id ⊆ genes.gene_id" <<<"$out" \
-    || fail "expected exact IND missing for: $args"
+for fmt in text block; do
+  # Exact discovery: transcripts.gene_id ⊆ genes.gene_id must be found by
+  # every engine, with and without the sketch pre-filter.
+  for args in \
+    "-algo brute-force" \
+    "-algo spider-merge" \
+    "-algo spider-merge -sketch" \
+    "-algo spider-merge -streaming -shards 4 -sketch" \
+    "-algo in-memory"; do
+    echo "+ indfind -csv $data -format $fmt $args"
+    # shellcheck disable=SC2086
+    out=$("$bin" -csv "$data" -format "$fmt" $args)
+    grep -q "transcripts.gene_id ⊆ genes.gene_id" <<<"$out" \
+      || fail "expected exact IND missing for: -format $fmt $args"
+  done
+
+  # Partial INDs: xrefs.gene covers 9 of its 10 distinct values in
+  # genes.gene_id — satisfied at σ = 0.9, invisible to exact discovery.
+  echo "+ indfind -csv $data -format $fmt -algo spider-merge -partial 0.9"
+  out=$("$bin" -csv "$data" -format "$fmt" -algo spider-merge -partial 0.9)
+  grep -q "xrefs.gene ⊆ genes.gene_id" <<<"$out" \
+    || fail "expected partial IND xrefs.gene ⊆ genes.gene_id missing (-format $fmt)"
+
+  # N-ary: (gene_id, tax_id) of transcripts matches genes row-wise, so
+  # level 2 must verify at least one IND.
+  echo "+ indfind -csv $data -format $fmt -algo spider-merge -nary 2"
+  out=$("$bin" -csv "$data" -format "$fmt" -algo spider-merge -nary 2)
+  grep -Eq "n-ary INDs \(arity 2\.\.2\): [1-9]" <<<"$out" \
+    || fail "no arity-2 INDs discovered (-format $fmt)"
+  grep -q "transcripts.gene_id" <<<"$out" || fail "arity-2 IND does not involve transcripts.gene_id (-format $fmt)"
 done
-
-# Partial INDs: xrefs.gene covers 9 of its 10 distinct values in
-# genes.gene_id — satisfied at σ = 0.9, invisible to exact discovery.
-echo "+ indfind -csv $data -algo spider-merge -partial 0.9"
-out=$("$bin" -csv "$data" -algo spider-merge -partial 0.9)
-grep -q "xrefs.gene ⊆ genes.gene_id" <<<"$out" \
-  || fail "expected partial IND xrefs.gene ⊆ genes.gene_id missing"
-
-# N-ary: (gene_id, tax_id) of transcripts matches genes row-wise, so
-# level 2 must verify at least one IND.
-echo "+ indfind -csv $data -algo spider-merge -nary 2"
-out=$("$bin" -csv "$data" -algo spider-merge -nary 2)
-grep -Eq "n-ary INDs \(arity 2\.\.2\): [1-9]" <<<"$out" \
-  || fail "no arity-2 INDs discovered"
-grep -q "transcripts.gene_id" <<<"$out" || fail "arity-2 IND does not involve transcripts.gene_id"
 
 echo "smoke: OK"

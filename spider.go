@@ -174,6 +174,46 @@ func (p ShardPlanner) internal() ind.ShardPlanner {
 	}
 }
 
+// Format selects the on-disk encoding of exported value files and spill
+// runs. Readers auto-detect the encoding per file, so results are
+// identical under either format — only the I/O profile changes.
+type Format int
+
+const (
+	// FormatText is the seed encoding: newline-framed, backslash-escaped
+	// records, one value per line. Human-inspectable.
+	FormatText Format = iota
+	// FormatBlock is the columnar binary encoding: front-coded
+	// checksummed blocks, a block index for range seeks, and the
+	// attribute's sketch embedded in the same file.
+	FormatBlock
+)
+
+// String names the format ("text" or "block").
+func (f Format) String() string { return f.internal().String() }
+
+// ParseFormat converts a format name ("text" or "block") to a Format.
+func ParseFormat(s string) (Format, error) {
+	v, err := valfile.ParseFormat(s)
+	if err != nil {
+		return 0, fmt.Errorf("spider: unknown format %q (want text or block)", s)
+	}
+	switch v {
+	case valfile.FormatBlock:
+		return FormatBlock, nil
+	default:
+		return FormatText, nil
+	}
+}
+
+// internal maps the public format onto the storage enum.
+func (f Format) internal() valfile.Format {
+	if f == FormatBlock {
+		return valfile.FormatBlock
+	}
+	return valfile.FormatText
+}
+
 // Options tunes FindINDs.
 type Options struct {
 	// Algorithm defaults to BruteForce.
@@ -241,6 +281,10 @@ type Options struct {
 	// SQLEarlyStop lets ROWNUM stop the embedded engine early — the
 	// behaviour the paper could not obtain from the commercial optimizer.
 	SQLEarlyStop bool
+	// Format selects the value-file encoding (FormatText or FormatBlock)
+	// for exported attributes and spill runs. The discovered INDs are
+	// identical under either format.
+	Format Format
 }
 
 // sketchConfig maps the public sketch knobs onto the package config.
@@ -258,6 +302,11 @@ type Stats struct {
 	// algorithms) or base-table tuples scanned (SQL approaches) — the
 	// paper's Figure 5 metric.
 	ItemsRead int64
+	// BytesRead counts raw bytes pulled from value files by the
+	// file-backed engines, the metric that compares FormatText and
+	// FormatBlock I/O for the same delivered items. Zero for engines
+	// that never open value files.
+	BytesRead int64
 	// Comparisons counts value comparisons.
 	Comparisons int64
 	// MaxOpenFiles is the peak number of simultaneously open value files,
@@ -458,8 +507,9 @@ func FindINDs(db *Database, opts Options) (*Result, error) {
 	var counter valfile.ReadCounter
 	exportCfg := ind.ExportConfig{
 		Dir: workDir, Workers: exportWorkers(opts),
-		Sort:     extsort.Config{TempDir: opts.WorkDir},
+		Sort:     extsort.Config{TempDir: opts.WorkDir, Format: opts.Format.internal()},
 		Sketches: opts.SketchPrefilter, SketchConfig: opts.sketchConfig(),
+		Format: opts.Format.internal(),
 	}
 	var streamSrc *ind.SorterSource
 	var sharedSrc *ind.RunsSource
@@ -594,6 +644,7 @@ func convertStats(st ind.Stats) Stats {
 		Candidates:        st.Candidates,
 		Satisfied:         st.Satisfied,
 		ItemsRead:         st.ItemsRead,
+		BytesRead:         st.BytesRead,
 		Comparisons:       st.Comparisons,
 		MaxOpenFiles:      st.MaxOpenFiles,
 		Events:            st.Events,
