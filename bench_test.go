@@ -1099,3 +1099,70 @@ func BenchmarkEmbeddedMerge(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkStoreBackends runs the full extraction + spider-merge
+// pipeline on UniProt with each storage backend holding the sorted
+// value sets: files in both encodings, plain memory, and a read-only
+// snapshot over memory. Same INDs everywhere; the spread is the cost of
+// where the bytes live.
+func BenchmarkStoreBackends(b *testing.B) {
+	mk := func() *Database { return GenerateUniProt(DatasetConfig{Seed: 42, Scale: 0.15}) }
+	for _, be := range []struct {
+		name  string
+		store func(dir string) *Store
+	}{
+		{"fs-text", func(dir string) *Store { return NewFSStore(dir, FormatText) }},
+		{"fs-block", func(dir string) *Store { return NewFSStore(dir, FormatBlock) }},
+		{"mem", func(string) *Store { return NewMemStore() }},
+		{"snapshot", func(string) *Store { return NewSnapshotStore() }},
+	} {
+		b.Run(be.name, func(b *testing.B) {
+			db := mk()
+			for i := 0; i < b.N; i++ {
+				res, err := FindINDs(db, Options{
+					Algorithm: SpiderMerge,
+					Store:     be.store(b.TempDir()),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == b.N-1 {
+					b.ReportMetric(float64(len(res.INDs)), "INDs")
+					b.ReportMetric(float64(res.Stats.BytesRead), "bytes/op")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSnapshotReaders scales concurrent brute-force workers over
+// one snapshot backend: the pooled-cursor read path the planned
+// indserved daemon sits on. Results must not move with the worker
+// count.
+func BenchmarkSnapshotReaders(b *testing.B) {
+	db := GenerateUniProt(DatasetConfig{Seed: 42, Scale: 0.15})
+	base, err := FindINDs(db, Options{Algorithm: InMemory})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 4, 8, 16} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := FindINDs(db, Options{
+					Algorithm: BruteForceParallel,
+					Workers:   workers,
+					Store:     NewSnapshotStore(),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.INDs) != len(base.INDs) {
+					b.Fatalf("workers=%d changed results: %d vs %d INDs", workers, len(res.INDs), len(base.INDs))
+				}
+				if i == b.N-1 {
+					b.ReportMetric(float64(len(res.INDs)), "INDs")
+				}
+			}
+		})
+	}
+}

@@ -41,6 +41,7 @@ func main() {
 	narySequential := flag.Bool("nary-sequential", false, "disable overlapped n-ary levels (spider-merge; run one level at a time)")
 	embedded := flag.Bool("embedded", false, "also discover embedded INDs (transformed values; -algo spider-merge selects the merge-front engine)")
 	workDir := flag.String("workdir", "", "directory for sorted value files (temporary when empty)")
+	backendName := flag.String("backend", "fs", "storage backend for extracted value sets: fs|mem|snapshot (mem/snapshot never write value files)")
 	formatName := flag.String("format", "text", "value-file encoding: text|block (block = columnar binary with front coding)")
 	sketchOn := flag.Bool("sketch", false, "enable the sketch pre-filter (min-hash + bloom; sound on the exact path)")
 	sketchContainment := flag.Float64("sketch-containment", 0,
@@ -73,6 +74,12 @@ func main() {
 		os.Exit(1)
 	}
 
+	backend, err := spider.ParseBackend(*backendName, *workDir, format)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "indfind: %v\n", err)
+		os.Exit(1)
+	}
+
 	if *partial > 0 {
 		partials, stats, err := spider.FindPartialINDs(db, spider.PartialOptions{
 			Threshold:               *partial,
@@ -88,6 +95,7 @@ func main() {
 			SketchK:                 *sketchK,
 			SketchBloomBitsPerValue: *sketchBloomBits,
 			Format:                  format,
+			Store:                   backend,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "indfind: %v\n", err)
@@ -122,6 +130,7 @@ func main() {
 		SketchK:                 *sketchK,
 		SketchBloomBitsPerValue: *sketchBloomBits,
 		Format:                  format,
+		Store:                   backend,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "indfind: %v\n", err)
@@ -150,6 +159,7 @@ func main() {
 			WorkDir:       *workDir,
 			ExportWorkers: *exportWorkers,
 			Format:        format,
+			Store:         backend,
 			// Per-level progress arrives as each level finishes, not after
 			// the whole search: long levels report while later ones run.
 			LevelProgress: func(p spider.NaryLevelProgress) {
@@ -192,6 +202,7 @@ func main() {
 			Algorithm: embAlgo,
 			WorkDir:   *workDir,
 			Format:    format,
+			Store:     backend,
 		}
 		if embAlgo == spider.SpiderMerge {
 			embOpts.Shards = *shards

@@ -23,10 +23,16 @@ func main() {
 	seed := flag.Int64("seed", 42, "built-in dataset seed")
 	soft := flag.Float64("soft", 1.0, "accession heuristic threshold (1.0 strict; paper also used 0.9998)")
 	maxINDs := flag.Int("maxinds", 40, "maximum INDs to list (0 = all)")
+	backendName := flag.String("backend", "fs", "storage backend for the IND discovery pass: fs|mem|snapshot")
 	flag.Parse()
 
+	backend, err := spider.ParseBackend(*backendName, "", spider.FormatText)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "schemadisc: %v\n", err)
+		os.Exit(1)
+	}
+
 	var db *spider.Database
-	var err error
 	switch {
 	case *csvDir != "":
 		db, err = spider.LoadCSVDir("csv", *csvDir)
@@ -45,6 +51,7 @@ func main() {
 	}
 
 	rep, err := spider.DiscoverSchema(db, spider.SchemaOptions{
+		Find:                 spider.Options{Store: backend},
 		AccessionMinFraction: *soft,
 	})
 	if err != nil {

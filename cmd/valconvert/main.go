@@ -5,6 +5,7 @@
 //	valconvert file.val                    # flip the detected encoding in place
 //	valconvert -format block -dir export/  # convert a whole export directory
 //	valconvert -verify -out b.val a.val    # convert to a new path, re-checked
+//	valconvert -backend mem -verify a.val  # stage in memory, write nothing
 //
 // Sketch payloads move with the file: a .sketch sidecar becomes the
 // embedded SKCH section on text→block, and the SKCH section becomes a
@@ -22,6 +23,7 @@ import (
 	"strings"
 
 	"spider/internal/blockfile"
+	"spider/internal/store"
 	"spider/internal/valfile"
 )
 
@@ -38,8 +40,18 @@ func run(args []string, out io.Writer) error {
 	outPath := fs.String("out", "", "output path (single file only; default: replace the source in place)")
 	dir := fs.String("dir", "", "convert every .val file under this directory in place")
 	verify := fs.Bool("verify", false, "re-read source and output and compare value streams before replacing anything")
+	backendName := fs.String("backend", "fs", "staging backend: fs writes the converted file, mem stages it in memory and writes nothing (dry run)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var stageInMem bool
+	switch *backendName {
+	case "", "fs":
+	case "mem":
+		stageInMem = true
+	default:
+		return fmt.Errorf("unknown backend %q (want fs or mem)", *backendName)
 	}
 
 	var target valfile.Format
@@ -63,9 +75,9 @@ func run(args []string, out io.Writer) error {
 		if !haveTarget {
 			return fmt.Errorf("-dir requires an explicit -format")
 		}
-		return convertDir(*dir, target, *verify, out)
+		return convertDir(*dir, target, *verify, stageInMem, out)
 	case fs.NArg() == 0:
-		return fmt.Errorf("no input files; usage: valconvert [-format text|block] [-out PATH] [-verify] FILE... | -dir DIR")
+		return fmt.Errorf("no input files; usage: valconvert [-format text|block] [-out PATH] [-verify] [-backend fs|mem] FILE... | -dir DIR")
 	case *outPath != "" && fs.NArg() > 1:
 		return fmt.Errorf("-out applies to a single input file, got %d", fs.NArg())
 	}
@@ -83,7 +95,7 @@ func run(args []string, out io.Writer) error {
 			}
 			tgt = flip(detected)
 		}
-		if err := convertFile(src, dst, tgt, *verify, out); err != nil {
+		if err := convertFile(src, dst, tgt, *verify, stageInMem, out); err != nil {
 			return fmt.Errorf("%s: %w", src, err)
 		}
 	}
@@ -101,7 +113,7 @@ func flip(f valfile.Format) valfile.Format {
 // convertDir converts every .val file under dir (recursively) to the
 // target format in place. Files already in the target format are left
 // untouched.
-func convertDir(dir string, target valfile.Format, verify bool, out io.Writer) error {
+func convertDir(dir string, target valfile.Format, verify, stageInMem bool, out io.Writer) error {
 	return filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
 		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".val") {
 			return err
@@ -113,7 +125,7 @@ func convertDir(dir string, target valfile.Format, verify bool, out io.Writer) e
 		if have == target {
 			return nil
 		}
-		if err := convertFile(path, path, target, verify, out); err != nil {
+		if err := convertFile(path, path, target, verify, stageInMem, out); err != nil {
 			return fmt.Errorf("%s: %w", path, err)
 		}
 		return nil
@@ -124,15 +136,57 @@ func convertDir(dir string, target valfile.Format, verify bool, out io.Writer) e
 // format, migrating sketch payloads across the sidecar/section boundary.
 // The output lands in a temp file first and replaces dst only after it
 // is complete (and, with verify, proven value-identical to the source).
-func convertFile(src, dst string, target valfile.Format, verify bool, out io.Writer) error {
+// With stageInMem the converted value set only ever exists in an
+// in-memory dataset: the pipeline (including verify) runs end to end,
+// then reports and discards — nothing on disk changes.
+func convertFile(src, dst string, target valfile.Format, verify, stageInMem bool, out io.Writer) error {
 	source, err := valfile.DetectFormat(src)
 	if err != nil {
 		return err
 	}
 
+	if stageInMem {
+		mem := store.NewMem()
+		w, err := mem.Create(dst)
+		if err != nil {
+			return err
+		}
+		n, err := copyValues(src, w)
+		if err != nil {
+			w.Close()
+			return err
+		}
+		// The mem backend carries any section, so nothing is dropped and
+		// no sidecar is needed: every payload lands in the section map.
+		if err := migrateSections(src, source, w, valfile.FormatBlock, "", out); err != nil {
+			w.Close()
+			return err
+		}
+		if err := w.Close(); err != nil {
+			return err
+		}
+		if verify {
+			ra, err := store.OpenFile(src, nil)
+			if err != nil {
+				return err
+			}
+			defer ra.Close()
+			rb, err := mem.Open(dst, nil)
+			if err != nil {
+				return err
+			}
+			defer rb.Close()
+			if err := compareCursors(ra, rb); err != nil {
+				return fmt.Errorf("verify: %w", err)
+			}
+		}
+		fmt.Fprintf(out, "%s: %s → %s (%d values, staged in memory, not written)\n", dst, source, target, n)
+		return nil
+	}
+
 	tmp := dst + ".convert.tmp"
 	defer os.Remove(tmp)
-	w, err := valfile.CreateFormat(tmp, target)
+	w, err := store.CreateFile(tmp, target)
 	if err != nil {
 		return err
 	}
@@ -167,8 +221,8 @@ func convertFile(src, dst string, target valfile.Format, verify bool, out io.Wri
 }
 
 // copyValues streams every value of src into w.
-func copyValues(src string, w *valfile.Writer) (int, error) {
-	r, err := valfile.Open(src, nil)
+func copyValues(src string, w store.ValueWriter) (int, error) {
+	r, err := store.OpenFile(src, nil)
 	if err != nil {
 		return 0, err
 	}
@@ -188,7 +242,7 @@ func copyValues(src string, w *valfile.Writer) (int, error) {
 // migrateSections carries sketch payloads across the conversion: a
 // sidecar file feeds the SKCH section on text→block, embedded sections
 // feed the block output or (SKCH only) a sidecar on block→text.
-func migrateSections(src string, source valfile.Format, w *valfile.Writer, target valfile.Format, dst string, out io.Writer) error {
+func migrateSections(src string, source valfile.Format, w store.ValueWriter, target valfile.Format, dst string, out io.Writer) error {
 	if source == valfile.FormatText {
 		if target != valfile.FormatBlock {
 			return nil
@@ -231,16 +285,22 @@ func migrateSections(src string, source valfile.Format, w *valfile.Writer, targe
 // compareValues re-reads both files and fails on the first diverging
 // value, extra value, or missing value.
 func compareValues(a, b string) error {
-	ra, err := valfile.Open(a, nil)
+	ra, err := store.OpenFile(a, nil)
 	if err != nil {
 		return err
 	}
 	defer ra.Close()
-	rb, err := valfile.Open(b, nil)
+	rb, err := store.OpenFile(b, nil)
 	if err != nil {
 		return err
 	}
 	defer rb.Close()
+	return compareCursors(ra, rb)
+}
+
+// compareCursors drains two cursors in lockstep and fails on the first
+// divergence.
+func compareCursors(ra, rb store.Cursor) error {
 	for i := 0; ; i++ {
 		va, oka := ra.Next()
 		vb, okb := rb.Next()

@@ -9,6 +9,7 @@ import (
 	"spider/internal/extsort"
 	"spider/internal/ind"
 	"spider/internal/sketch"
+	"spider/internal/store"
 	"spider/internal/valfile"
 )
 
@@ -83,6 +84,8 @@ type PartialOptions struct {
 	// Format selects the on-disk encoding of exported value files and
 	// frozen spill runs; see Options.Format.
 	Format Format
+	// Store selects the dataset backend; see Options.Store.
+	Store *Store
 	// MaxValuePretest is NOT applied: a dependent maximum above the
 	// referenced maximum refutes only the exact IND, not a partial one.
 	// SamplingPretest is likewise unsound for partial INDs and skipped.
@@ -112,13 +115,17 @@ func FindPartialINDs(db *Database, opts PartialOptions) ([]PartialIND, Stats, er
 
 	exportFiles := !opts.Streaming
 	workDir := opts.WorkDir
-	if exportFiles && workDir == "" {
+	if exportFiles && workDir == "" && opts.Store.needsDir() {
 		tmp, err := os.MkdirTemp("", "spider-partial-*")
 		if err != nil {
 			return nil, Stats{}, err
 		}
 		defer os.RemoveAll(tmp)
 		workDir = tmp
+	}
+	var writeDS, readDS store.Dataset
+	if opts.Store != nil {
+		writeDS, readDS = opts.Store.datasets(workDir)
 	}
 	attrs, err := ind.CollectAttributes(db.rel)
 	if err != nil {
@@ -129,7 +136,8 @@ func FindPartialINDs(db *Database, opts PartialOptions) ([]PartialIND, Stats, er
 	// (built in the same pass) exist by the time the pre-filter runs.
 	var counter valfile.ReadCounter
 	exportCfg := ind.ExportConfig{
-		Dir: workDir, Workers: workerPool(opts.ExportWorkers),
+		Dataset: writeDS,
+		Dir:     workDir, Workers: workerPool(opts.ExportWorkers),
 		Sort:     extsort.Config{TempDir: opts.WorkDir, Format: opts.Format.internal()},
 		Format:   opts.Format.internal(),
 		Sketches: opts.SketchPrefilter,
@@ -173,10 +181,10 @@ func FindPartialINDs(db *Database, opts PartialOptions) ([]PartialIND, Stats, er
 	var res *ind.PartialResult
 	switch {
 	case opts.Algorithm == BruteForce:
-		res, err = ind.BruteForcePartial(cands, ind.PartialOptions{Threshold: opts.Threshold, Counter: &counter})
+		res, err = ind.BruteForcePartial(cands, ind.PartialOptions{Threshold: opts.Threshold, Counter: &counter, Store: readDS})
 	case opts.Shards > 1:
 		smOpts := ind.ShardedPartialMergeOptions{
-			Threshold: opts.Threshold, Counter: &counter,
+			Threshold: opts.Threshold, Counter: &counter, Store: readDS,
 			Shards: opts.Shards, Workers: opts.MergeWorkers,
 			Planner: opts.Planner.internal(),
 		}
@@ -185,7 +193,7 @@ func FindPartialINDs(db *Database, opts PartialOptions) ([]PartialIND, Stats, er
 		}
 		res, err = ind.ShardedPartialSpiderMerge(cands, smOpts)
 	default:
-		smOpts := ind.PartialMergeOptions{Threshold: opts.Threshold, Counter: &counter}
+		smOpts := ind.PartialMergeOptions{Threshold: opts.Threshold, Counter: &counter, Store: readDS}
 		if streamSrc != nil {
 			smOpts.Source = streamSrc
 		}
@@ -295,6 +303,11 @@ type NaryOptions struct {
 	// Format selects the on-disk encoding of the sorted tuple files and
 	// frozen spill runs; see Options.Format.
 	Format Format
+	// Store selects the dataset backend for the unary seed's value sets
+	// and the per-level encoded tuple sets; see Options.Store. The mem
+	// and snapshot backends keep the whole levelwise search off disk
+	// (external-sort spills excepted).
+	Store *Store
 }
 
 // NaryLevelProgress is one completed level's summary, delivered to
@@ -359,6 +372,12 @@ func FindNaryINDs(db *Database, opts NaryOptions) ([]NaryIND, NaryStats, error) 
 		ExportWorkers:    opts.ExportWorkers,
 		SequentialLevels: opts.SequentialLevels,
 		Sort:             extsort.Config{Format: opts.Format.internal()},
+	}
+	// The nil fs-without-root case keeps the legacy plumbing (temporary
+	// work directory managed inside DiscoverNary); any other store maps
+	// onto the write (scratch) and read (engine) dataset pair.
+	if opts.Store != nil && !(opts.Store.needsDir() && opts.WorkDir == "") {
+		inOpts.Scratch, inOpts.Store = opts.Store.datasets(opts.WorkDir)
 	}
 	if opts.LevelProgress != nil {
 		inOpts.LevelProgress = func(p ind.LevelProgress) {
@@ -430,6 +449,9 @@ type EmbeddedOptions struct {
 	// Format selects the on-disk encoding of the exported and derived
 	// value files; see Options.Format.
 	Format Format
+	// Store selects the dataset backend for the exported and derived
+	// value sets; see Options.Store.
+	Store *Store
 }
 
 // FindEmbeddedINDs discovers inclusions of embedded values (the paper's
@@ -456,7 +478,7 @@ func FindEmbeddedINDsWith(db *Database, opts EmbeddedOptions) ([]EmbeddedIND, St
 		engine = ind.EmbeddedMerge
 	}
 	workDir := opts.WorkDir
-	if workDir == "" {
+	if workDir == "" && !opts.Store.inMemory() {
 		tmp, err := os.MkdirTemp("", "spider-embedded-*")
 		if err != nil {
 			return nil, Stats{}, err
@@ -464,24 +486,37 @@ func FindEmbeddedINDsWith(db *Database, opts EmbeddedOptions) ([]EmbeddedIND, St
 		defer os.RemoveAll(tmp)
 		workDir = tmp
 	}
+	var writeDS, readDS store.Dataset
+	if opts.Store != nil {
+		writeDS, readDS = opts.Store.datasets(workDir)
+	}
 	attrs, err := ind.Prepare(db.rel, ind.ExportConfig{
-		Dir:    workDir,
-		Sort:   extsort.Config{Format: opts.Format.internal()},
-		Format: opts.Format.internal(),
+		Dataset: writeDS,
+		Dir:     workDir,
+		Sort:    extsort.Config{Format: opts.Format.internal()},
+		Format:  opts.Format.internal(),
 	})
 	if err != nil {
 		return nil, Stats{}, err
 	}
 	var counter valfile.ReadCounter
-	res, err := ind.FindEmbedded(db.rel, attrs, ind.EmbeddedOptions{
-		Dir:          workDir + "/derived",
+	embOpts := ind.EmbeddedOptions{
 		Counter:      &counter,
 		Algorithm:    engine,
+		Store:        readDS,
 		Shards:       opts.Shards,
 		MergeWorkers: opts.MergeWorkers,
 		Planner:      opts.Planner.internal(),
 		Format:       opts.Format.internal(),
-	})
+	}
+	if opts.Store.inMemory() {
+		// Derived value sets join the base exports in the same in-memory
+		// dataset; the snapshot read side faults them in on first open.
+		embOpts.Scratch = writeDS
+	} else {
+		embOpts.Dir = workDir + "/derived"
+	}
+	res, err := ind.FindEmbedded(db.rel, attrs, embOpts)
 	if err != nil {
 		return nil, Stats{}, err
 	}

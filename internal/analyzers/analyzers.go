@@ -16,6 +16,9 @@
 //   - cancelleak: goroutines in the merge/extsort layers that send on a
 //     channel must have a cancellation path (select on done/cancel, a
 //     provably buffered channel, or a nonblocking send).
+//   - storeseam: value streams flow through store.Dataset (or the store
+//     package's blessed pass-throughs); direct valfile open/create/read
+//     calls outside internal/store bypass the storage backends.
 //
 // False positives are suppressed only with a justified
 // //lint:indlint-ignore <reason> directive (see framework.ApplyIgnores);
@@ -42,6 +45,7 @@ func All() []*framework.Analyzer {
 		TupleEncode,
 		StatsTrailer,
 		CancelLeak,
+		StoreSeam,
 	}
 }
 

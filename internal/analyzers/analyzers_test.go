@@ -31,6 +31,11 @@ func TestCancelLeak(t *testing.T) {
 		"spider/internal/ind")
 }
 
+func TestStoreSeam(t *testing.T) {
+	analysistest.Run(t, "testdata/storeseam", analyzers.StoreSeam,
+		"spider/internal/ind", "spider/internal/store")
+}
+
 // TestIgnoreDirective runs a live analyzer over a fixture whose
 // violations are suppressed by both directive placement forms; the
 // undirected control case must still be reported.

@@ -5,6 +5,7 @@ package cursortest
 import (
 	"spider/internal/blockfile"
 	"spider/internal/extsort"
+	"spider/internal/store"
 	"spider/internal/valfile"
 )
 
@@ -169,4 +170,65 @@ func freezeHandoff(vals []string) (*extsort.Runs, error) {
 		return nil, err
 	}
 	return runs, nil
+}
+
+// datasetLeakOnErrorPath is the same seeded bug class through the
+// storage seam: the first dataset cursor leaks when the second open
+// fails.
+func datasetLeakOnErrorPath(ds store.Dataset, a, b string) error {
+	ca, err := ds.Open(a, nil)
+	if err != nil {
+		return err // ca is nil on its own failure check: clean
+	}
+	cb, err := ds.Open(b, nil)
+	if err != nil {
+		return err // want `ca may not be closed on this return path`
+	}
+	defer ca.Close()
+	defer cb.Close()
+	return nil
+}
+
+// datasetClosedProperly defers each dataset cursor's Close right after
+// acquisition.
+func datasetClosedProperly(ds store.Dataset, a, b string) error {
+	ca, err := ds.Open(a, nil)
+	if err != nil {
+		return err
+	}
+	defer ca.Close()
+	cb, err := ds.Open(b, nil)
+	if err != nil {
+		return err
+	}
+	defer cb.Close()
+	return nil
+}
+
+// datasetWriterNeverClosed stages a value set and forgets the writer:
+// the staged key never commits.
+func datasetWriterNeverClosed(key string) error {
+	mem := store.NewMem()
+	w, err := mem.Create(key) // want `w is never closed in this function and never escapes to an owner`
+	if err != nil {
+		return err
+	}
+	return w.Append("v")
+}
+
+// datasetWriterHandoff returns the staged writer: the caller owns it.
+func datasetWriterHandoff(key string) (store.ValueWriter, error) {
+	mem := store.NewMem()
+	return mem.Create(key)
+}
+
+// passthroughLeak acquires through the blessed pass-through and never
+// releases.
+func passthroughLeak(path string) (string, error) {
+	r, err := store.OpenFile(path, nil) // want `r is never closed in this function and never escapes to an owner`
+	if err != nil {
+		return "", err
+	}
+	v, _ := r.Next()
+	return v, nil
 }

@@ -14,6 +14,7 @@ import (
 	"os"
 	"sort"
 
+	"spider/internal/store"
 	"spider/internal/valfile"
 )
 
@@ -118,7 +119,7 @@ func (s *Sorter) spill() error {
 	}
 	path := f.Name()
 	f.Close()
-	if _, err := valfile.WriteAllFormat(path, s.buf, s.cfg.Format); err != nil {
+	if _, err := store.WriteFileValues(path, s.buf, s.cfg.Format); err != nil {
 		os.Remove(path)
 		return err
 	}
@@ -177,24 +178,9 @@ func (s *Sorter) WriteToFile(path string, observe func(string), finish func(*val
 	if s.closed {
 		return 0, "", fmt.Errorf("extsort: WriteTo after finish")
 	}
-	s.closed = true
-	defer s.cleanup()
-	if s.canceled() {
-		return 0, "", ErrCanceled
-	}
-
-	sortDedup(&s.buf)
-	spillRuns := len(s.runs)
-
-	// Intermediate merge passes keep the final fan-in bounded.
-	for len(s.runs) > s.cfg.FanIn {
-		if err := s.mergePass(); err != nil {
-			return 0, "", err
-		}
-	}
-
-	w, err := valfile.CreateFormat(path, s.cfg.Format)
+	w, err := store.CreateFile(path, s.cfg.Format)
 	if err != nil {
+		s.Discard()
 		return 0, "", err
 	}
 	fail := func(err error) (int, string, error) {
@@ -202,50 +188,12 @@ func (s *Sorter) WriteToFile(path string, observe func(string), finish func(*val
 		os.Remove(path)
 		return 0, "", err
 	}
-
-	if len(s.runs) == 0 {
-		// Everything fit in memory: write the buffer directly.
-		for _, v := range s.buf {
-			if observe != nil {
-				observe(v)
-			}
-			if err := w.Append(v); err != nil {
-				return fail(err)
-			}
-		}
-		if len(s.buf) > 0 {
-			max = s.buf[len(s.buf)-1]
-		}
-	} else {
-		merge, err := newMerger(s.runs, s.buf, "")
-		if err != nil {
-			return fail(err)
-		}
-		defer merge.close()
-		for out := 0; ; out++ {
-			if out%cancelCheckEvery == 0 && s.canceled() {
-				return fail(ErrCanceled)
-			}
-			v, ok, err := merge.nextDistinct()
-			if err != nil {
-				return fail(err)
-			}
-			if !ok {
-				break
-			}
-			if observe != nil {
-				observe(v)
-			}
-			if err := w.Append(v); err != nil {
-				return fail(err)
-			}
-		}
-		max = merge.lastOut
+	_, max, meta, err := s.DrainTo(w, observe)
+	if err != nil {
+		return fail(err)
 	}
-
 	if w.Format() == valfile.FormatBlock {
-		meta := RunMeta{Added: s.added, SpillRuns: spillRuns}
-		if err := w.SetSection(valfile.RunMetaSection, meta.encode()); err != nil {
+		if err := w.SetSection(valfile.RunMetaSection, meta.Encode()); err != nil {
 			return fail(err)
 		}
 	}
@@ -259,6 +207,83 @@ func (s *Sorter) WriteToFile(path string, observe func(string), finish func(*val
 		return 0, "", err
 	}
 	return n, max, nil
+}
+
+// Sink receives a sorted distinct value stream; store.ValueWriter and
+// *valfile.Writer both satisfy it.
+type Sink interface {
+	Append(v string) error
+}
+
+// DrainTo merges buffered values and spill runs into sink, the
+// storage-agnostic core of WriteTo: it appends every distinct value in
+// sorted order (tapped by observe, which may be nil), removes the
+// temporary runs, and returns the count, the maximum value ("" when
+// empty) and the sorter's provenance for callers that persist a
+// RunMetaSection. It neither sets sections nor closes the sink; the
+// caller owns the staging writer. The Sorter cannot be reused.
+func (s *Sorter) DrainTo(sink Sink, observe func(string)) (n int, max string, meta RunMeta, err error) {
+	if s.closed {
+		return 0, "", RunMeta{}, fmt.Errorf("extsort: DrainTo after finish")
+	}
+	s.closed = true
+	defer s.cleanup()
+	if s.canceled() {
+		return 0, "", RunMeta{}, ErrCanceled
+	}
+
+	sortDedup(&s.buf)
+	meta = RunMeta{Added: s.added, SpillRuns: len(s.runs)}
+
+	// Intermediate merge passes keep the final fan-in bounded.
+	for len(s.runs) > s.cfg.FanIn {
+		if err := s.mergePass(); err != nil {
+			return 0, "", RunMeta{}, err
+		}
+	}
+
+	if len(s.runs) == 0 {
+		// Everything fit in memory: write the buffer directly.
+		for _, v := range s.buf {
+			if observe != nil {
+				observe(v)
+			}
+			if err := sink.Append(v); err != nil {
+				return 0, "", RunMeta{}, err
+			}
+		}
+		n = len(s.buf)
+		if n > 0 {
+			max = s.buf[n-1]
+		}
+		return n, max, meta, nil
+	}
+
+	merge, err := newMerger(s.runs, s.buf, "")
+	if err != nil {
+		return 0, "", RunMeta{}, err
+	}
+	defer merge.close()
+	for out := 0; ; out++ {
+		if out%cancelCheckEvery == 0 && s.canceled() {
+			return 0, "", RunMeta{}, ErrCanceled
+		}
+		v, ok, err := merge.nextDistinct()
+		if err != nil {
+			return 0, "", RunMeta{}, err
+		}
+		if !ok {
+			break
+		}
+		if observe != nil {
+			observe(v)
+		}
+		if err := sink.Append(v); err != nil {
+			return 0, "", RunMeta{}, err
+		}
+		n++
+	}
+	return n, merge.lastOut, meta, nil
 }
 
 // cancelCheckEvery is how many merged values pass between cancellation
@@ -285,7 +310,7 @@ func (s *Sorter) mergePass() error {
 	}
 	outPath := f.Name()
 	f.Close()
-	w, err := valfile.CreateFormat(outPath, s.cfg.Format)
+	w, err := store.CreateFile(outPath, s.cfg.Format)
 	if err != nil {
 		merge.close()
 		return err
@@ -484,7 +509,7 @@ func (r *Runs) Sample(k int) ([]string, error) {
 		perRun = 1
 	}
 	for _, p := range r.runs {
-		vals, err := valfile.SampleValues(p, perRun)
+		vals, err := store.SampleFileValues(p, perRun)
 		if err != nil {
 			return nil, err
 		}
@@ -525,7 +550,7 @@ func (s *Sorter) Sorted() ([]string, error) {
 	defer s.cleanup()
 	out := append([]string(nil), s.buf...)
 	for _, run := range s.runs {
-		vals, err := valfile.ReadAll(run)
+		vals, err := store.ReadFileValues(run)
 		if err != nil {
 			return nil, err
 		}
@@ -571,7 +596,7 @@ func (h *mergeHeap) Pop() interface{} {
 func newMerger(runs []string, mem []string, lo string) (*merger, error) {
 	m := &merger{mem: mem}
 	for _, p := range runs {
-		r, err := valfile.OpenRange(p, nil, valfile.Range{Lo: lo})
+		r, err := store.OpenFileRange(p, nil, valfile.Range{Lo: lo})
 		if err != nil {
 			m.close()
 			return nil, err

@@ -11,6 +11,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"spider/internal/store"
 	"spider/internal/valfile"
 )
 
@@ -491,5 +492,102 @@ func assertNoRuns(t *testing.T, dir string) {
 	}
 	if len(runs) != 0 {
 		t.Fatalf("leaked spill runs: %v", runs)
+	}
+}
+
+// TestSpillRunsCarryConfiguredFormat is the regression guard for the
+// spill-run framing: with Format block every run file written by a
+// spill (and by intermediate merge passes) must itself be
+// block-framed, so replaying frozen runs gets the same front-coded,
+// checksummed framing as final exports. An earlier draft of the block
+// format wired only the final WriteTo output, leaving spill runs in
+// the text encoding.
+func TestSpillRunsCarryConfiguredFormat(t *testing.T) {
+	for _, format := range []valfile.Format{valfile.FormatText, valfile.FormatBlock} {
+		dir := t.TempDir()
+		s := New(Config{MaxInMemory: 4, FanIn: 2, TempDir: dir, Format: format})
+		for i := 0; i < 64; i++ {
+			if err := s.Add(fmt.Sprintf("value-%03d", i%37)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if len(s.runs) == 0 {
+			t.Fatalf("%v: no spill runs written", format)
+		}
+		// Force an intermediate merge pass too: its output runs must
+		// keep the framing.
+		if err := s.mergePass(); err != nil {
+			t.Fatal(err)
+		}
+		for _, run := range s.runs {
+			have, err := valfile.DetectFormat(run)
+			if err != nil {
+				t.Fatalf("%v: %s: %v", format, run, err)
+			}
+			if have != format {
+				t.Errorf("%v: spill run %s framed as %v", format, filepath.Base(run), have)
+			}
+		}
+		out := filepath.Join(dir, "out.val")
+		if _, _, err := s.WriteTo(out); err != nil {
+			t.Fatal(err)
+		}
+		if have, err := valfile.DetectFormat(out); err != nil || have != format {
+			t.Errorf("%v: final output framed as %v (err %v)", format, have, err)
+		}
+	}
+}
+
+// TestDrainToMemDataset drains a spilling sorter straight into an
+// in-memory dataset: the storage-seam path the mem and snapshot
+// backends use instead of WriteTo's file target.
+func TestDrainToMemDataset(t *testing.T) {
+	vals := []string{"pear", "apple", "fig", "apple", "kiwi", "fig", "plum", "lime"}
+	s := New(Config{MaxInMemory: 2, TempDir: t.TempDir()})
+	for _, v := range vals {
+		if err := s.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mem := store.NewMem()
+	w, err := mem.Create("drained.val")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, max, meta, err := s.DrainTo(w, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SetSection(valfile.RunMetaSection, meta.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := sortedDistinct(vals)
+	if n != len(want) || max != want[len(want)-1] {
+		t.Fatalf("DrainTo = (%d, %q), want (%d, %q)", n, max, len(want), want[len(want)-1])
+	}
+	cur, err := mem.Open("drained.val", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	var got []string
+	for {
+		v, ok := cur.Next()
+		if !ok {
+			break
+		}
+		got = append(got, v)
+	}
+	if err := cur.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("drained values = %v, want %v", got, want)
+	}
+	if data, ok, err := mem.Section("drained.val", valfile.RunMetaSection); err != nil || !ok || len(data) == 0 {
+		t.Fatalf("RunMeta section not carried by the mem dataset (ok=%v, err=%v)", ok, err)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"spider/internal/store"
 	"spider/internal/valfile"
 )
 
@@ -20,8 +21,9 @@ type RunMeta struct {
 
 const runMetaLen = 16
 
-// encode serializes the metadata (two little-endian u64s).
-func (m RunMeta) encode() []byte {
+// Encode serializes the metadata (two little-endian u64s), the
+// RunMetaSection payload dataset writers embed next to staged output.
+func (m RunMeta) Encode() []byte {
 	b := make([]byte, runMetaLen)
 	binary.LittleEndian.PutUint64(b[0:8], uint64(m.Added))
 	binary.LittleEndian.PutUint64(b[8:16], uint64(m.SpillRuns))
@@ -43,7 +45,7 @@ func DecodeRunMeta(b []byte) (RunMeta, error) {
 // path. ok is false when the file is text-format or predates the
 // section.
 func ReadRunMeta(path string) (meta RunMeta, ok bool, err error) {
-	data, ok, err := valfile.ReadSection(path, valfile.RunMetaSection)
+	data, ok, err := store.FileSection(path, valfile.RunMetaSection)
 	if err != nil || !ok {
 		return RunMeta{}, false, err
 	}

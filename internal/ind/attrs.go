@@ -8,10 +8,8 @@ package ind
 
 import (
 	"bytes"
-	"errors"
 	"fmt"
 	"os"
-	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -19,6 +17,7 @@ import (
 	"spider/internal/extsort"
 	"spider/internal/relstore"
 	"spider/internal/sketch"
+	"spider/internal/store"
 	"spider/internal/valfile"
 	"spider/internal/value"
 )
@@ -42,8 +41,12 @@ type Attribute struct {
 	// MaxCanonical drives the Sec 4.1 pretest.
 	MinCanonical string
 	MaxCanonical string
-	// Path is the sorted distinct value file, "" until exported.
+	// Path is the sorted distinct value file, "" until exported to a
+	// filesystem dataset (in-memory backends leave it empty).
 	Path string
+	// Key is the attribute's staging key inside the dataset it was
+	// exported to, "" until exported.
+	Key string
 	// Sketch is the attribute's pre-filter summary (KMV signature +
 	// partitioned bloom filter); nil until built by an export with
 	// ExportConfig.Sketches, by LoadSketches, or by
@@ -53,6 +56,17 @@ type Attribute struct {
 
 // String implements fmt.Stringer.
 func (a *Attribute) String() string { return a.Ref.String() }
+
+// StoreKey returns the dataset key under which the attribute's sorted
+// distinct value set is readable: the value-file path when one exists
+// (resolved verbatim by filesystem datasets, whatever their root) or
+// the staging key of a non-file backend. "" means not exported yet.
+func (a *Attribute) StoreKey() string {
+	if a.Path != "" {
+		return a.Path
+	}
+	return a.Key
+}
 
 // NonEmpty reports whether the attribute has at least one non-null value.
 func (a *Attribute) NonEmpty() bool { return a.NonNull > 0 }
@@ -98,9 +112,14 @@ func CollectAttributes(db *relstore.Database) ([]*Attribute, error) {
 	return out, nil
 }
 
-// ExportConfig controls sorted value file export.
+// ExportConfig controls sorted value set export.
 type ExportConfig struct {
-	// Dir receives one value file per attribute.
+	// Dataset receives the staged value sets. nil selects a filesystem
+	// dataset rooted at Dir in the configured Format — the historical
+	// files-on-disk layout.
+	Dataset store.Dataset
+	// Dir receives one value file per attribute when Dataset is nil; it
+	// also hosts the sorter's spill runs unless Sort.TempDir overrides.
 	Dir string
 	// Sort configures the external sorter.
 	Sort extsort.Config
@@ -132,18 +151,24 @@ type ExportConfig struct {
 // once per IND test — the first optimization of Sec 1.2. With
 // cfg.Workers > 1 the attributes are exported by a bounded worker pool.
 func ExportAttributes(db *relstore.Database, attrs []*Attribute, cfg ExportConfig) error {
-	if cfg.Dir == "" {
-		return fmt.Errorf("ind: ExportConfig.Dir is required")
+	ds := cfg.Dataset
+	if ds == nil {
+		if cfg.Dir == "" {
+			return fmt.Errorf("ind: ExportConfig.Dir is required")
+		}
+		ds = store.NewFS(cfg.Dir, cfg.Format)
 	}
-	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
-		return fmt.Errorf("ind: %w", err)
-	}
-	if cfg.Sort.TempDir == "" {
-		cfg.Sort.TempDir = cfg.Dir
+	if cfg.Dir != "" {
+		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+			return fmt.Errorf("ind: %w", err)
+		}
+		if cfg.Sort.TempDir == "" {
+			cfg.Sort.TempDir = cfg.Dir
+		}
 	}
 	cfg.Sort.Format = cfg.Format
 	return forEachAttribute(attrs, cfg.Workers, func(a *Attribute) error {
-		return exportAttribute(db, a, cfg)
+		return exportAttribute(db, a, cfg, ds)
 	})
 }
 
@@ -195,81 +220,101 @@ func forEachAttribute(attrs []*Attribute, workers int, fn func(*Attribute) error
 	return firstErr
 }
 
-// exportAttribute extracts, sorts and writes one attribute's value file,
-// deriving and persisting its sketch in the same pass when configured.
-func exportAttribute(db *relstore.Database, a *Attribute, cfg ExportConfig) error {
+// exportAttribute extracts, sorts and stages one attribute's value set
+// into ds, deriving and persisting its sketch in the same pass when
+// configured.
+func exportAttribute(db *relstore.Database, a *Attribute, cfg ExportConfig, ds store.Dataset) error {
 	sorter, err := fillSorter(db, a, cfg.Sort, nil)
 	if err != nil {
 		return err
 	}
-	defer sorter.Discard() // no-op after WriteToFile; reclaims runs on early error
+	defer sorter.Discard() // no-op after DrainTo; reclaims runs on early error
 	// The sketch taps the final merge rather than the raw column scan:
 	// each distinct value is observed exactly once, so the builder does
 	// per-distinct work instead of per-row work.
 	builder, observe := sketchObserver(cfg, a)
-	// For block-format exports the finished sketch is embedded as a
-	// section of the value file itself — the finish hook runs after the
-	// last value is appended, exactly when the builder is complete, and
-	// before the writer seals the file. Text exports keep the sidecar.
-	var finish func(*valfile.Writer) error
-	if builder != nil && cfg.Format == valfile.FormatBlock {
-		finish = func(w *valfile.Writer) error {
-			a.Sketch = builder.Finish()
-			var buf bytes.Buffer
-			if err := a.Sketch.Encode(&buf); err != nil {
-				return err
-			}
-			return w.SetSection(valfile.SketchSection, buf.Bytes())
+	key := attrFileName(a)
+	w, err := ds.Create(key)
+	if err != nil {
+		return err
+	}
+	abort := func(err error) error {
+		w.Close()
+		removeIfPresent(ds, key)
+		return err
+	}
+	n, max, meta, err := sorter.DrainTo(w, observe)
+	if err != nil {
+		return abort(err)
+	}
+	// The run metadata always rides along; backends that cannot carry it
+	// (the text encoding) drop it, exactly as before the storage seam.
+	if err := w.SetSection(valfile.RunMetaSection, meta.Encode()); err != nil {
+		return abort(err)
+	}
+	// The finished sketch is staged as a section of the value set itself:
+	// block files embed it, text files persist the byte-identical sidecar,
+	// memory datasets keep the payload in their section map.
+	if builder != nil {
+		a.Sketch = builder.Finish()
+		var buf bytes.Buffer
+		if err := a.Sketch.Encode(&buf); err != nil {
+			return abort(err)
+		}
+		if err := w.SetSection(valfile.SketchSection, buf.Bytes()); err != nil {
+			return abort(err)
 		}
 	}
-	path := filepath.Join(cfg.Dir, attrFileName(a))
-	n, max, err := sorter.WriteToFile(path, observe, finish)
-	if err != nil {
+	if err := w.Close(); err != nil {
+		removeIfPresent(ds, key)
 		return err
 	}
 	if n != a.Distinct {
 		return fmt.Errorf("ind: %s: exported %d distinct values, stats say %d", a.Ref, n, a.Distinct)
 	}
-	a.Path = path
-	a.MaxCanonical = max
-	if builder != nil && a.Sketch == nil {
-		a.Sketch = builder.Finish()
-		if err := a.Sketch.WriteFile(path + sketch.FileSuffix); err != nil {
-			return err
-		}
+	a.Key = key
+	if fs, ok := ds.(*store.FS); ok {
+		a.Path = fs.Path(key)
 	}
+	a.MaxCanonical = max
 	return nil
 }
 
-// LoadSketches fills Attribute.Sketch from persisted sketches: the
-// SketchSection embedded in block-format value files first, then the
-// sidecar file next to the value file (the text-format home, and the
-// fallback for block files written before sketches were enabled).
-// Attributes without a value file or without a persisted sketch are
-// skipped; a present but unreadable sketch is an error.
-func LoadSketches(attrs []*Attribute) error {
+// removeIfPresent is the best-effort cleanup of a failed staging; the
+// key may or may not have become visible, so absence is not an error.
+func removeIfPresent(ds store.Dataset, key string) {
+	_ = ds.Remove(key)
+}
+
+// LoadSketches fills Attribute.Sketch from the sketches persisted in
+// ds: the SketchSection staged next to each value set (embedded in
+// block-format value files, sidecars next to text files, the section
+// map of memory datasets). A nil ds resolves Attribute.Path verbatim —
+// the files-on-disk default. Attributes without an exported value set
+// or without a persisted sketch are skipped; a present but unreadable
+// sketch is an error.
+func LoadSketches(ds store.Dataset, attrs []*Attribute) error {
+	if ds == nil {
+		ds = pathFS
+	}
 	for _, a := range attrs {
-		if a.Sketch != nil || a.Path == "" {
+		if a.Sketch != nil {
 			continue
 		}
-		data, ok, err := valfile.ReadSection(a.Path, valfile.SketchSection)
+		key := a.StoreKey()
+		if key == "" {
+			continue
+		}
+		data, ok, err := ds.Section(key, valfile.SketchSection)
 		if err != nil {
 			return fmt.Errorf("ind: %s: %w", a.Ref, err)
 		}
-		if ok {
-			s, err := sketch.Decode(bytes.NewReader(data))
-			if err != nil {
-				return fmt.Errorf("ind: %s: embedded sketch: %w", a.Ref, err)
-			}
-			a.Sketch = s
+		if !ok {
 			continue
 		}
-		s, err := sketch.ReadFile(a.Path + sketch.FileSuffix)
+		s, err := sketch.Decode(bytes.NewReader(data))
 		if err != nil {
-			if errors.Is(err, os.ErrNotExist) {
-				continue
-			}
-			return fmt.Errorf("ind: %s: %w", a.Ref, err)
+			return fmt.Errorf("ind: %s: persisted sketch: %w", a.Ref, err)
 		}
 		a.Sketch = s
 	}

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"time"
 
+	"spider/internal/store"
 	"spider/internal/valfile"
 )
 
@@ -22,11 +23,13 @@ type BlockedOptions struct {
 	RefBlock int
 	// Counter receives every item read; nil disables external counting.
 	Counter *valfile.ReadCounter
-	// Source provides each attribute's value cursor; nil selects the
-	// sorted value files written by ExportAttributes, counted by Counter.
-	// Cursors are reopened once per block, so single-shot sources (such
-	// as SorterSource) are unsuitable here.
+	// Source provides each attribute's value cursor; nil selects Store,
+	// then the sorted value files written by ExportAttributes, counted
+	// by Counter. Cursors are reopened once per block, so single-shot
+	// sources (such as SorterSource) are unsuitable here.
 	Source CursorSource
+	// Store serves the attributes' value sets when Source is nil.
+	Store store.Dataset
 }
 
 // SinglePassBlocked partitions the candidates into dependent × referenced
@@ -54,7 +57,7 @@ func SinglePassBlocked(cands []Candidate, opts BlockedOptions) (*Result, error) 
 			if len(block) == 0 {
 				continue
 			}
-			res, err := SinglePass(block, SinglePassOptions{Counter: opts.Counter, Source: opts.Source})
+			res, err := SinglePass(block, SinglePassOptions{Counter: opts.Counter, Source: opts.Source, Store: opts.Store})
 			if err != nil {
 				return nil, err
 			}

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"time"
 
+	"spider/internal/store"
 	"spider/internal/valfile"
 )
 
@@ -73,9 +74,12 @@ type BruteForceOptions struct {
 	// Transitivity enables the Bell & Brockhausen inference of Sec 4.1,
 	// skipping tests whose outcome follows from already decided ones.
 	Transitivity bool
-	// Source provides each attribute's value cursor; nil selects the
-	// sorted value files written by ExportAttributes, counted by Counter.
+	// Source provides each attribute's value cursor; nil selects Store,
+	// then the sorted value files written by ExportAttributes, counted
+	// by Counter.
 	Source CursorSource
+	// Store serves the attributes' value sets when Source is nil.
+	Store store.Dataset
 }
 
 // BruteForce tests every candidate sequentially by opening and merging the
@@ -86,7 +90,7 @@ func BruteForce(cands []Candidate, opts BruteForceOptions) (*Result, error) {
 	res := &Result{}
 	res.Stats.Candidates = len(cands)
 	res.Stats.MaxOpenFiles = 2 // one dependent plus one referenced file
-	src := sourceOrFiles(opts.Source, opts.Counter)
+	src := sourceOrStore(opts.Source, opts.Store, opts.Counter)
 	var filter *TransitivityFilter
 	if opts.Transitivity {
 		filter = NewTransitivityFilter()

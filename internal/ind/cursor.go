@@ -2,9 +2,9 @@ package ind
 
 import (
 	"fmt"
-	"sort"
 
 	"spider/internal/extsort"
+	"spider/internal/store"
 	"spider/internal/valfile"
 )
 
@@ -12,53 +12,17 @@ import (
 // fundamental access path of every order-based algorithm (Sec 3: "All
 // value sets are extracted from the database and stored in sorted
 // files"). Decoupling the algorithms from the storage of those sets lets
-// the same engines run over on-disk value files, in-memory slices, or
-// values merged straight out of external-sort spill runs.
+// the same engines run over any store.Dataset backend — value files,
+// in-memory sets, read-only snapshots — or values merged straight out of
+// external-sort spill runs.
 //
 // Next returns the next value in strictly increasing order; ok is false
 // at end of stream or on error, distinguished by Err. Close releases any
 // underlying resources and must be called exactly once.
-type Cursor interface {
-	Next() (v string, ok bool)
-	Err() error
-	Close() error
-}
-
-// *valfile.Reader is the canonical file-backed cursor.
-var _ Cursor = (*valfile.Reader)(nil)
+type Cursor = store.Cursor
 
 // *extsort.MergeCursor streams directly from spill runs.
 var _ Cursor = (*extsort.MergeCursor)(nil)
-
-// SliceCursor iterates an in-memory sorted distinct slice.
-type SliceCursor struct {
-	vals    []string
-	pos     int
-	counter *valfile.ReadCounter
-}
-
-// NewSliceCursor returns a cursor over sorted, which must already be
-// sorted and duplicate-free. counter may be nil.
-func NewSliceCursor(sorted []string, counter *valfile.ReadCounter) *SliceCursor {
-	return &SliceCursor{vals: sorted, counter: counter}
-}
-
-// Next returns the next value.
-func (c *SliceCursor) Next() (string, bool) {
-	if c.pos >= len(c.vals) {
-		return "", false
-	}
-	v := c.vals[c.pos]
-	c.pos++
-	c.counter.Add(1)
-	return v, true
-}
-
-// Err always returns nil: slices cannot fail.
-func (c *SliceCursor) Err() error { return nil }
-
-// Close is a no-op.
-func (c *SliceCursor) Close() error { return nil }
 
 // CursorSource opens value cursors for attributes. The order-based
 // engines consume their input exclusively through a source, so the same
@@ -79,13 +43,53 @@ type RangeSource interface {
 
 // BoundarySampler is optionally implemented by sources that can produce
 // cheap order statistics of an attribute's value set (e.g. spill-run
-// fronts); the sharded engine folds them into its boundary selection.
+// fronts or a dataset's samples); the sharded engine folds them into its
+// boundary selection.
 type BoundarySampler interface {
 	SampleBounds(a *Attribute, k int) ([]string, error)
 }
 
-// FileSource opens the sorted value files written by ExportAttributes.
+// StoreSource serves attributes out of a store.Dataset — the uniform
+// access path under every engine since the storage seam: filesystem
+// datasets, in-memory datasets and read-only snapshots all arrive here.
 // Every delivered item is counted by Counter (may be nil).
+type StoreSource struct {
+	DS      store.Dataset
+	Counter *valfile.ReadCounter
+}
+
+// Open returns an unbounded cursor over the attribute's value set.
+func (s StoreSource) Open(a *Attribute) (Cursor, error) {
+	return s.OpenRange(a, valfile.Range{})
+}
+
+// OpenRange returns a cursor over the attribute's value set bounded to
+// bounds.
+func (s StoreSource) OpenRange(a *Attribute, bounds valfile.Range) (Cursor, error) {
+	key := a.StoreKey()
+	if key == "" {
+		return nil, fmt.Errorf("ind: attribute %s has no exported value set", a.Ref)
+	}
+	return s.DS.OpenRange(key, s.Counter, bounds)
+}
+
+// SampleBounds returns the dataset's order statistics for the
+// attribute, feeding the sharded engine's boundary selection.
+func (s StoreSource) SampleBounds(a *Attribute, k int) ([]string, error) {
+	key := a.StoreKey()
+	if key == "" {
+		return nil, fmt.Errorf("ind: attribute %s has no exported value set", a.Ref)
+	}
+	return s.DS.Sample(key, k)
+}
+
+// pathFS resolves attribute paths as verbatim file paths — the dataset
+// behind the historical files-on-disk default.
+var pathFS = store.NewFS("", valfile.FormatText)
+
+// FileSource opens the sorted value files written by ExportAttributes,
+// resolving Attribute.Path verbatim through an unrooted filesystem
+// dataset. Every delivered item is counted by Counter (may be nil).
 type FileSource struct {
 	Counter *valfile.ReadCounter
 }
@@ -100,34 +104,7 @@ func (s FileSource) OpenRange(a *Attribute, bounds valfile.Range) (Cursor, error
 	if a.Path == "" {
 		return nil, fmt.Errorf("ind: attribute %s has no exported value file", a.Ref)
 	}
-	return valfile.OpenRange(a.Path, s.Counter, bounds)
-}
-
-// MemorySource serves attributes from in-memory sorted distinct sets
-// keyed by Attribute.ID, as produced by relstore's DistinctCanonical.
-type MemorySource struct {
-	Sets    map[int][]string
-	Counter *valfile.ReadCounter
-}
-
-// Open returns a cursor over the attribute's in-memory value set.
-func (s MemorySource) Open(a *Attribute) (Cursor, error) {
-	return s.OpenRange(a, valfile.Range{})
-}
-
-// OpenRange returns a cursor over the in-range sub-slice of the
-// attribute's sorted value set, found by binary search.
-func (s MemorySource) OpenRange(a *Attribute, bounds valfile.Range) (Cursor, error) {
-	vals, ok := s.Sets[a.ID]
-	if !ok {
-		return nil, fmt.Errorf("ind: attribute %s has no in-memory value set", a.Ref)
-	}
-	lo := sort.SearchStrings(vals, bounds.Lo)
-	hi := len(vals)
-	if bounds.HasHi {
-		hi = lo + sort.SearchStrings(vals[lo:], bounds.Hi)
-	}
-	return NewSliceCursor(vals[lo:hi], s.Counter), nil
+	return pathFS.OpenRange(a.Path, s.Counter, bounds)
 }
 
 // SorterSource streams each attribute's sorted distinct values directly
@@ -223,20 +200,27 @@ func (s *RunsSource) Close() error {
 	return nil
 }
 
-// sourceOrFiles is the engine-side default: an explicit source wins,
-// otherwise the exported value files are read and counted.
-func sourceOrFiles(src CursorSource, counter *valfile.ReadCounter) CursorSource {
+// sourceOrStore is the engine-side default: an explicit source wins,
+// then an explicit dataset (wrapped in a counted StoreSource), otherwise
+// the exported value files are read and counted.
+func sourceOrStore(src CursorSource, ds store.Dataset, counter *valfile.ReadCounter) CursorSource {
 	if src != nil {
 		return src
+	}
+	if ds != nil {
+		return StoreSource{DS: ds, Counter: counter}
 	}
 	return FileSource{Counter: counter}
 }
 
-// rangeSourceOrFiles is sourceOrFiles for the sharded engine, which needs
-// range-restricted opens.
-func rangeSourceOrFiles(src RangeSource, counter *valfile.ReadCounter) RangeSource {
+// rangeSourceOrStore is sourceOrStore for the sharded engine, which
+// needs range-restricted opens.
+func rangeSourceOrStore(src RangeSource, ds store.Dataset, counter *valfile.ReadCounter) RangeSource {
 	if src != nil {
 		return src
+	}
+	if ds != nil {
+		return StoreSource{DS: ds, Counter: counter}
 	}
 	return FileSource{Counter: counter}
 }

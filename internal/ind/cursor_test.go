@@ -7,6 +7,7 @@ import (
 
 	"spider/internal/extsort"
 	"spider/internal/relstore"
+	"spider/internal/store"
 	"spider/internal/valfile"
 )
 
@@ -29,17 +30,29 @@ func drain(t *testing.T, c Cursor) []string {
 	return out
 }
 
-func TestSliceCursor(t *testing.T) {
+// TestStoreSource checks the engines' uniform dataset access path: keys
+// resolve via Attribute.StoreKey, missing exports fail loudly.
+func TestStoreSource(t *testing.T) {
+	mem := store.NewMem()
+	mem.SetValues("a.val", []string{"x", "y"})
 	var counter valfile.ReadCounter
-	got := drain(t, NewSliceCursor([]string{"a", "b", "c"}, &counter))
-	if !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+	src := StoreSource{DS: mem, Counter: &counter}
+	a := &Attribute{ID: 7, Ref: relstore.ColumnRef{Table: "t", Column: "a"}, Key: "a.val"}
+	cur, err := src.Open(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := drain(t, cur); !reflect.DeepEqual(got, []string{"x", "y"}) {
 		t.Errorf("values = %v", got)
 	}
-	if counter.Total() != 3 {
+	if counter.Total() != 2 {
 		t.Errorf("counted %d items", counter.Total())
 	}
-	if got := drain(t, NewSliceCursor(nil, nil)); got != nil {
-		t.Errorf("empty cursor yielded %v", got)
+	if _, err := src.Open(&Attribute{ID: 8, Ref: relstore.ColumnRef{Table: "t", Column: "b"}}); err == nil {
+		t.Error("attribute without a store key must fail")
+	}
+	if _, err := src.Open(&Attribute{ID: 9, Ref: relstore.ColumnRef{Table: "t", Column: "c"}, Key: "missing.val"}); err == nil {
+		t.Error("missing key must fail")
 	}
 }
 
@@ -66,8 +79,8 @@ func TestFileSourceRoundTrip(t *testing.T) {
 	}
 }
 
-func TestMemorySource(t *testing.T) {
-	src := MemorySource{Sets: map[int][]string{7: {"x", "y"}}}
+func TestMemSourceFixture(t *testing.T) {
+	src := memSource(map[int][]string{7: {"x", "y"}})
 	a := &Attribute{ID: 7, Ref: relstore.ColumnRef{Table: "t", Column: "a"}}
 	cur, err := src.Open(a)
 	if err != nil {
@@ -121,7 +134,7 @@ func TestAlgorithmOneOverMemory(t *testing.T) {
 	}
 	for i, c := range cases {
 		var st Stats
-		got, err := algorithmOne(NewSliceCursor(c.dep, nil), NewSliceCursor(c.ref, nil), &st)
+		got, err := algorithmOne(store.NewSliceCursor(c.dep, nil), store.NewSliceCursor(c.ref, nil), &st)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -3,13 +3,13 @@ package ind
 import (
 	"fmt"
 	"os"
-	"path/filepath"
 	"sort"
 	"strings"
 	"time"
 
 	"spider/internal/extsort"
 	"spider/internal/relstore"
+	"spider/internal/store"
 	"spider/internal/valfile"
 	"spider/internal/value"
 )
@@ -104,8 +104,15 @@ func (e EmbeddedEngine) String() string {
 type EmbeddedOptions struct {
 	// Transforms to try; StandardTransforms() when empty.
 	Transforms []Transform
-	// Dir receives the derived sorted value files; required.
+	// Dir receives the derived sorted value files (and the sorter's
+	// spill runs); required unless Scratch is set.
 	Dir string
+	// Scratch receives the derived value sets; nil selects a filesystem
+	// dataset rooted at Dir, reproducing the historical on-disk layout.
+	Scratch store.Dataset
+	// Store serves the original attributes' value sets to the engines
+	// when set; nil reads the exported value files by path.
+	Store store.Dataset
 	// MinValues skips derived sets smaller than this (default 2):
 	// near-empty derived sets satisfy almost any inclusion and are noise.
 	MinValues int
@@ -160,14 +167,20 @@ func derivedRef(orig relstore.ColumnRef, transform string) relstore.ColumnRef {
 // referenced attributes. Exact INDs (identity transform) are not
 // re-tested; combine with BruteForce for the full picture.
 func FindEmbedded(db *relstore.Database, attrs []*Attribute, opts EmbeddedOptions) (*EmbeddedResult, error) {
-	if opts.Dir == "" {
-		return nil, fmt.Errorf("ind: EmbeddedOptions.Dir is required")
+	if opts.Dir == "" && opts.Scratch == nil {
+		return nil, fmt.Errorf("ind: EmbeddedOptions.Dir or Scratch is required")
 	}
 	if opts.Shards > 1 && opts.Algorithm != EmbeddedMerge {
 		return nil, fmt.Errorf("ind: Shards require the EmbeddedMerge engine, not %v", opts.Algorithm)
 	}
-	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
-		return nil, err
+	if opts.Dir != "" {
+		if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	scratch := opts.Scratch
+	if scratch == nil {
+		scratch = store.NewFS(opts.Dir, opts.Format)
 	}
 	if len(opts.Transforms) == 0 {
 		opts.Transforms = StandardTransforms()
@@ -178,7 +191,7 @@ func FindEmbedded(db *relstore.Database, attrs []*Attribute, opts EmbeddedOption
 	start := time.Now()
 	res := &EmbeddedResult{}
 
-	deriveds, err := deriveAttributes(db, attrs, opts)
+	deriveds, err := deriveAttributes(db, attrs, opts, scratch)
 	if err != nil {
 		return nil, err
 	}
@@ -200,7 +213,7 @@ func FindEmbedded(db *relstore.Database, attrs []*Attribute, opts EmbeddedOption
 			if d.attr.Distinct > r.Distinct {
 				continue
 			}
-			if r.Path == "" {
+			if r.StoreKey() == "" {
 				return nil, fmt.Errorf("ind: referenced attribute %s not exported", r.Ref)
 			}
 			cands = append(cands, embCand{d: d, r: r})
@@ -219,11 +232,11 @@ func FindEmbedded(db *relstore.Database, attrs []*Attribute, opts EmbeddedOption
 		var mres *Result
 		if opts.Shards > 1 {
 			mres, err = ShardedSpiderMerge(pairs, ShardedMergeOptions{
-				Counter: opts.Counter, Shards: opts.Shards,
+				Counter: opts.Counter, Store: opts.Store, Shards: opts.Shards,
 				Workers: opts.MergeWorkers, Planner: opts.Planner,
 			})
 		} else {
-			mres, err = SpiderMerge(pairs, SpiderMergeOptions{Counter: opts.Counter})
+			mres, err = SpiderMerge(pairs, SpiderMergeOptions{Counter: opts.Counter, Store: opts.Store})
 		}
 		if err != nil {
 			return nil, err
@@ -236,8 +249,9 @@ func FindEmbedded(db *relstore.Database, attrs []*Attribute, opts EmbeddedOption
 			})
 		}
 	} else {
+		src := sourceOrStore(nil, opts.Store, opts.Counter)
 		for _, c := range cands {
-			sat, err := testCandidate(Candidate{Dep: c.d.attr, Ref: c.r}, FileSource{Counter: opts.Counter}, &res.Stats)
+			sat, err := testCandidate(Candidate{Dep: c.d.attr, Ref: c.r}, src, &res.Stats)
 			if err != nil {
 				return nil, err
 			}
@@ -271,11 +285,12 @@ func sortEmbedded(inds []EmbeddedIND) {
 	})
 }
 
-// deriveAttributes exports one sorted distinct value file per (dependent
-// attribute, transform) with a non-trivial result set, returning the
-// synthetic attributes both engines consume. Attribute IDs continue past
-// the originals', so deriveds and originals can share one merge.
-func deriveAttributes(db *relstore.Database, attrs []*Attribute, opts EmbeddedOptions) ([]derivedAttr, error) {
+// deriveAttributes exports one sorted distinct value set per (dependent
+// attribute, transform) with a non-trivial result set into the scratch
+// dataset, returning the synthetic attributes both engines consume.
+// Attribute IDs continue past the originals', so deriveds and originals
+// can share one merge.
+func deriveAttributes(db *relstore.Database, attrs []*Attribute, opts EmbeddedOptions, scratch store.Dataset) ([]derivedAttr, error) {
 	nextID := 0
 	for _, a := range attrs {
 		nextID = maxInt(nextID, a.ID+1)
@@ -311,26 +326,48 @@ func deriveAttributes(db *relstore.Database, attrs []*Attribute, opts EmbeddedOp
 				sorter.Discard()
 				return nil, addErr
 			}
-			path := filepath.Join(opts.Dir, fmt.Sprintf("derived_%05d_%s.val", nextID, tr.Name))
-			n, max, err := sorter.WriteTo(path)
+			key := fmt.Sprintf("derived_%05d_%s.val", nextID, tr.Name)
+			w, err := scratch.Create(key)
 			if err != nil {
+				sorter.Discard()
+				return nil, err
+			}
+			n, max, meta, err := sorter.DrainTo(w, nil)
+			if err != nil {
+				w.Close()
+				removeIfPresent(scratch, key)
+				return nil, err
+			}
+			if err := w.SetSection(valfile.RunMetaSection, meta.Encode()); err != nil {
+				w.Close()
+				removeIfPresent(scratch, key)
+				return nil, err
+			}
+			if err := w.Close(); err != nil {
+				removeIfPresent(scratch, key)
 				return nil, err
 			}
 			if n < opts.MinValues {
-				os.Remove(path)
+				if err := scratch.Remove(key); err != nil {
+					return nil, err
+				}
 				continue
 			}
+			derived := &Attribute{
+				ID:           nextID,
+				Ref:          derivedRef(a.Ref, tr.Name),
+				Kind:         a.Kind,
+				NonNull:      n,
+				Distinct:     n,
+				MinCanonical: min,
+				MaxCanonical: max,
+				Key:          key,
+			}
+			if fs, ok := scratch.(*store.FS); ok {
+				derived.Path = fs.Path(key)
+			}
 			deriveds = append(deriveds, derivedAttr{
-				attr: &Attribute{
-					ID:           nextID,
-					Ref:          derivedRef(a.Ref, tr.Name),
-					Kind:         a.Kind,
-					NonNull:      n,
-					Distinct:     n,
-					MinCanonical: min,
-					MaxCanonical: max,
-					Path:         path,
-				},
+				attr:      derived,
 				orig:      a.Ref,
 				transform: tr.Name,
 			})

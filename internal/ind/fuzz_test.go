@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"spider/internal/relstore"
+	"spider/internal/store"
 	"spider/internal/valfile"
 	"spider/internal/value"
 )
@@ -116,7 +117,7 @@ func FuzzAlgorithmOne(f *testing.F) {
 		dep := sortedDistinct(depRaw)
 		ref := sortedDistinct(refRaw)
 		var st Stats
-		got, err := algorithmOne(NewSliceCursor(dep, nil), NewSliceCursor(ref, nil), &st)
+		got, err := algorithmOne(store.NewSliceCursor(dep, nil), store.NewSliceCursor(ref, nil), &st)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -159,7 +160,7 @@ func FuzzPartialMerge(f *testing.F) {
 				}
 			}
 		}
-		src := MemorySource{Sets: sets}
+		src := memSource(sets)
 		got, err := PartialSpiderMerge(cands, PartialMergeOptions{Threshold: sigma, Source: src})
 		if err != nil {
 			t.Fatal(err)

@@ -1,0 +1,37 @@
+package ind
+
+import (
+	"fmt"
+
+	"spider/internal/store"
+	"spider/internal/valfile"
+)
+
+// memSource serves ID-keyed in-memory value sets through a store.Mem
+// dataset — the storage-seam replacement for the ad-hoc MemorySource
+// fixture the tests used to carry. Attributes resolve to keys by ID, so
+// fixtures need not assign Key or Path.
+func memSource(sets map[int][]string) memIDSource {
+	mem := store.NewMem()
+	for id, vals := range sets {
+		mem.SetValues(memKey(id), vals)
+	}
+	return memIDSource{ds: mem}
+}
+
+func memKey(id int) string { return fmt.Sprintf("a%05d.val", id) }
+
+// memIDSource adapts a dataset keyed by attribute ID to the engines'
+// source interfaces.
+type memIDSource struct {
+	ds      store.Dataset
+	counter *valfile.ReadCounter
+}
+
+func (s memIDSource) Open(a *Attribute) (Cursor, error) {
+	return s.OpenRange(a, valfile.Range{})
+}
+
+func (s memIDSource) OpenRange(a *Attribute, bounds valfile.Range) (Cursor, error) {
+	return s.ds.OpenRange(memKey(a.ID), s.counter, bounds)
+}

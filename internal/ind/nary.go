@@ -10,6 +10,7 @@ import (
 
 	"spider/internal/extsort"
 	"spider/internal/relstore"
+	"spider/internal/store"
 	"spider/internal/valfile"
 )
 
@@ -107,6 +108,14 @@ type NaryOptions struct {
 	// external-sort spill runs instead of materializing per-level value
 	// files.
 	Streaming bool
+	// Store serves the unary attributes' value sets to the merge engines
+	// (and, unless Scratch is set, receives the unary seed's exports);
+	// nil exports to and reads the sorted value files under WorkDir.
+	Store store.Dataset
+	// Scratch receives the per-level encoded tuple sets of the NaryMerge
+	// engine; nil selects a filesystem dataset rooted at WorkDir,
+	// reproducing the historical on-disk layout.
+	Scratch store.Dataset
 	// Shards (NaryMerge only) partitions each level's encoded value
 	// space into that many disjoint ranges merged concurrently; 0 or 1
 	// keeps the single-threaded merge. Output is identical at any shard
@@ -260,7 +269,7 @@ func DiscoverNary(db *relstore.Database, opts NaryOptions) (*NaryResult, error) 
 		return nil, fmt.Errorf("ind: Streaming and Shards require the NaryMerge engine, not %v", opts.Algorithm)
 	}
 	workDir := opts.WorkDir
-	if opts.Algorithm == NaryMerge && workDir == "" && !opts.Streaming {
+	if opts.Algorithm == NaryMerge && workDir == "" && !opts.Streaming && opts.Scratch == nil {
 		tmp, err := os.MkdirTemp("", "spider-nary-*")
 		if err != nil {
 			return nil, err
@@ -279,7 +288,11 @@ func DiscoverNary(db *relstore.Database, opts NaryOptions) (*NaryResult, error) 
 	verifier := newTupleVerifier(db, &res.Stats)
 	var levels levelVerifier
 	if opts.Algorithm == NaryMerge {
-		m := &mergeLevelVerifier{db: db, opts: opts, workDir: workDir, stats: &res.Stats}
+		scratch := opts.Scratch
+		if scratch == nil {
+			scratch = store.NewFS(workDir, opts.Sort.Format)
+		}
+		m := &mergeLevelVerifier{db: db, opts: opts, workDir: workDir, scratch: scratch, stats: &res.Stats}
 		if opts.SequentialLevels {
 			levels = m
 		} else {
@@ -384,7 +397,7 @@ func unarySeed(db *relstore.Database, eligible []*Attribute, opts NaryOptions, w
 		return c
 	}
 
-	if opts.Algorithm == NaryMerge || workDir != "" {
+	if opts.Algorithm == NaryMerge || workDir != "" || opts.Store != nil {
 		var cands []Candidate
 		for _, d := range eligible {
 			for _, r := range eligible {
@@ -444,14 +457,22 @@ func unarySeed(db *relstore.Database, eligible []*Attribute, opts NaryOptions, w
 // export mode (value files, spill-run streams) and shard count — the same
 // plumbing FindINDs uses, reusing the real attribute value sets.
 func mergeUnarySeed(db *relstore.Database, eligible []*Attribute, cands []Candidate, opts NaryOptions, workDir string, counter *valfile.ReadCounter) (*Result, error) {
+	// Exports go to the write side: Scratch when the caller split the
+	// dataset into a writable scratch and a read-only serving view
+	// (the snapshot shape), Store otherwise.
+	seedDS := opts.Store
+	if opts.Scratch != nil {
+		seedDS = opts.Scratch
+	}
 	exportCfg := ExportConfig{
 		Dir:     workDir,
+		Dataset: seedDS,
 		Sort:    extsort.Config{TempDir: workDir, Format: opts.Sort.Format},
 		Workers: naryWorkers(opts.ExportWorkers),
 		Format:  opts.Sort.Format,
 	}
 	if opts.Shards > 1 {
-		smOpts := ShardedMergeOptions{Counter: counter, Shards: opts.Shards, Workers: opts.MergeWorkers}
+		smOpts := ShardedMergeOptions{Counter: counter, Store: opts.Store, Shards: opts.Shards, Workers: opts.MergeWorkers}
 		if opts.Streaming {
 			src, err := StreamAttributesShared(db, eligible, exportCfg, counter)
 			if err != nil {
@@ -464,7 +485,7 @@ func mergeUnarySeed(db *relstore.Database, eligible []*Attribute, cands []Candid
 		}
 		return ShardedSpiderMerge(cands, smOpts)
 	}
-	smOpts := SpiderMergeOptions{Counter: counter}
+	smOpts := SpiderMergeOptions{Counter: counter, Store: opts.Store}
 	if opts.Streaming {
 		src, err := StreamAttributes(db, eligible, exportCfg, counter)
 		if err != nil {

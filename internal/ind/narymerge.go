@@ -2,14 +2,13 @@ package ind
 
 import (
 	"fmt"
-	"os"
-	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
 
 	"spider/internal/extsort"
 	"spider/internal/relstore"
+	"spider/internal/store"
 	"spider/internal/valfile"
 	"spider/internal/value"
 )
@@ -96,6 +95,9 @@ type mergeLevelVerifier struct {
 	db      *relstore.Database
 	opts    NaryOptions
 	workDir string
+	// scratch receives each level's encoded tuple sets; a filesystem
+	// dataset rooted at workDir unless the caller supplied a backend.
+	scratch store.Dataset
 	stats   *NaryStats
 
 	mu   sync.Mutex   // guards stats
@@ -229,15 +231,15 @@ func (m *mergeLevelVerifier) runMerge(arity int, lists []*tupleList, pairs []Can
 		}
 		return SpiderMerge(pairs, SpiderMergeOptions{Counter: counter, Source: src})
 	default:
-		// Per-level value files, removed once the level is decided so
-		// disk usage stays bounded by one level. Names draw from an
-		// atomic sequence: concurrent groups at the same arity share the
-		// work directory and must never collide.
-		paths := make([]string, len(lists))
+		// Per-level tuple sets staged into the scratch dataset, removed
+		// once the level is decided so storage stays bounded by one
+		// level. Keys draw from an atomic sequence: concurrent groups at
+		// the same arity share the dataset and must never collide.
+		keys := make([]string, len(lists))
 		defer func() {
-			for _, p := range paths {
-				if p != "" {
-					os.Remove(p)
+			for _, k := range keys {
+				if k != "" {
+					m.scratch.Remove(k)
 				}
 			}
 		}()
@@ -246,14 +248,32 @@ func (m *mergeLevelVerifier) runMerge(arity int, lists []*tupleList, pairs []Can
 			if err != nil {
 				return err
 			}
-			defer sorter.Discard() // no-op after WriteTo; reclaims runs on early error
-			path := filepath.Join(m.workDir, fmt.Sprintf("nary_l%02d_%06d.val", arity, m.seq.Add(1)))
-			n, _, err := sorter.WriteTo(path)
+			defer sorter.Discard() // no-op after DrainTo; reclaims runs on early error
+			key := fmt.Sprintf("nary_l%02d_%06d.val", arity, m.seq.Add(1))
+			w, err := m.scratch.Create(key)
 			if err != nil {
 				return err
 			}
-			paths[i] = path
-			lists[i].attr.Path = path
+			n, _, meta, err := sorter.DrainTo(w, nil)
+			if err != nil {
+				w.Close()
+				removeIfPresent(m.scratch, key)
+				return err
+			}
+			if err := w.SetSection(valfile.RunMetaSection, meta.Encode()); err != nil {
+				w.Close()
+				removeIfPresent(m.scratch, key)
+				return err
+			}
+			if err := w.Close(); err != nil {
+				removeIfPresent(m.scratch, key)
+				return err
+			}
+			keys[i] = key
+			lists[i].attr.Key = key
+			if fs, ok := m.scratch.(*store.FS); ok {
+				lists[i].attr.Path = fs.Path(key)
+			}
 			lists[i].attr.Distinct = n
 			return nil
 		})
@@ -262,10 +282,11 @@ func (m *mergeLevelVerifier) runMerge(arity int, lists []*tupleList, pairs []Can
 		}
 		if m.opts.Shards > 1 {
 			return ShardedSpiderMerge(pairs, ShardedMergeOptions{
-				Counter: counter, Shards: m.opts.Shards, Workers: m.opts.MergeWorkers,
+				Counter: counter, Store: m.opts.Store,
+				Shards: m.opts.Shards, Workers: m.opts.MergeWorkers,
 			})
 		}
-		return SpiderMerge(pairs, SpiderMergeOptions{Counter: counter})
+		return SpiderMerge(pairs, SpiderMergeOptions{Counter: counter, Store: m.opts.Store})
 	}
 }
 

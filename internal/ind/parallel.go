@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"spider/internal/store"
 	"spider/internal/valfile"
 )
 
@@ -20,10 +21,14 @@ type ParallelOptions struct {
 	Workers int
 	// Counter receives every item read; nil disables external counting.
 	Counter *valfile.ReadCounter
-	// Source provides each attribute's value cursor; nil selects the
-	// sorted value files written by ExportAttributes, counted by Counter.
-	// A non-nil Source must be safe for concurrent Open calls.
+	// Source provides each attribute's value cursor; nil selects Store,
+	// then the sorted value files written by ExportAttributes, counted
+	// by Counter. A non-nil Source must be safe for concurrent Open
+	// calls.
 	Source CursorSource
+	// Store serves the attributes' value sets when Source is nil; it
+	// must be safe for concurrent opens (all backends are).
+	Store store.Dataset
 }
 
 // BruteForceParallel verifies all candidates concurrently.
@@ -32,7 +37,7 @@ func BruteForceParallel(cands []Candidate, opts ParallelOptions) (*Result, error
 		opts.Workers = runtime.GOMAXPROCS(0)
 	}
 	start := time.Now()
-	src := sourceOrFiles(opts.Source, opts.Counter)
+	src := sourceOrStore(opts.Source, opts.Store, opts.Counter)
 
 	var (
 		wg          sync.WaitGroup

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"spider/internal/store"
 	"spider/internal/valfile"
 )
 
@@ -25,6 +26,12 @@ type PartialOptions struct {
 	Threshold float64
 	// Counter receives every item read; nil disables external counting.
 	Counter *valfile.ReadCounter
+	// Source provides each attribute's value cursor; nil selects Store,
+	// then the sorted value files written by ExportAttributes, counted
+	// by Counter.
+	Source CursorSource
+	// Store serves the attributes' value sets when Source is nil.
+	Store store.Dataset
 }
 
 // PartialResult reports every candidate whose coverage reached the
@@ -55,11 +62,12 @@ func BruteForcePartial(cands []Candidate, opts PartialOptions) (*PartialResult, 
 	res := &PartialResult{}
 	res.Stats.Candidates = len(cands)
 	res.Stats.MaxOpenFiles = 2
+	src := sourceOrStore(opts.Source, opts.Store, opts.Counter)
 	for _, c := range cands {
-		if c.Dep.Path == "" || c.Ref.Path == "" {
+		if c.Dep.StoreKey() == "" || c.Ref.StoreKey() == "" {
 			return nil, fmt.Errorf("ind: candidate %s has unexported attributes", c)
 		}
-		matched, missing, err := partialTest(c, opts, &res.Stats)
+		matched, missing, err := partialTest(c, src, opts.Threshold, &res.Stats)
 		if err != nil {
 			return nil, err
 		}
@@ -98,20 +106,20 @@ func BruteForcePartial(cands []Candidate, opts PartialOptions) (*PartialResult, 
 // aborts early — reporting the full dependent cardinality as missing
 // beyond the budget — once the candidate can no longer reach the
 // threshold.
-func partialTest(c Candidate, opts PartialOptions, st *Stats) (matched, missing int, err error) {
-	dep, err := valfile.Open(c.Dep.Path, opts.Counter)
+func partialTest(c Candidate, src CursorSource, threshold float64, st *Stats) (matched, missing int, err error) {
+	dep, err := src.Open(c.Dep)
 	if err != nil {
 		return 0, 0, err
 	}
 	defer dep.Close()
-	ref, err := valfile.Open(c.Ref.Path, opts.Counter)
+	ref, err := src.Open(c.Ref)
 	if err != nil {
 		return 0, 0, err
 	}
 	defer ref.Close()
 	st.FilesOpened += 2
 
-	budget := missBudget(opts.Threshold, c.Dep.Distinct)
+	budget := missBudget(threshold, c.Dep.Distinct)
 
 	curRef, refOK := "", false
 	refDone := false
@@ -174,8 +182,8 @@ func missBudget(threshold float64, n int) int {
 	return n - required
 }
 
-// remainingCount drains a reader, returning the number of values left.
-func remainingCount(r *valfile.Reader) int {
+// remainingCount drains a cursor, returning the number of values left.
+func remainingCount(r Cursor) int {
 	n := 0
 	for {
 		if _, ok := r.Next(); !ok {

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"spider/internal/store"
 	"spider/internal/valfile"
 )
 
@@ -29,11 +30,13 @@ type PartialMergeOptions struct {
 	Threshold float64
 	// Counter receives every item read; nil disables external counting.
 	Counter *valfile.ReadCounter
-	// Source provides each attribute's value cursor; nil selects the
-	// sorted value files written by ExportAttributes, counted by Counter.
-	// Each attribute is opened exactly once, so single-shot sources
-	// (SorterSource) work here.
+	// Source provides each attribute's value cursor; nil selects Store,
+	// then the sorted value files written by ExportAttributes, counted
+	// by Counter. Each attribute is opened exactly once, so single-shot
+	// sources (SorterSource) work here.
 	Source CursorSource
+	// Store serves the attributes' value sets when Source is nil.
+	Store store.Dataset
 }
 
 // ShardedPartialMergeOptions tunes ShardedPartialSpiderMerge.
@@ -42,9 +45,12 @@ type ShardedPartialMergeOptions struct {
 	Threshold float64
 	// Counter receives every item read; nil disables external counting.
 	Counter *valfile.ReadCounter
-	// Source provides range-restricted cursors; nil selects the sorted
-	// value files written by ExportAttributes, counted by Counter.
+	// Source provides range-restricted cursors; nil selects Store, then
+	// the sorted value files written by ExportAttributes, counted by
+	// Counter.
 	Source RangeSource
+	// Store serves the attributes' value sets when Source is nil.
+	Store store.Dataset
 	// Shards is S, the number of disjoint value ranges merged
 	// independently. Zero or one selects a single unsharded merge.
 	Shards int
@@ -73,7 +79,7 @@ func PartialSpiderMerge(cands []Candidate, opts PartialMergeOptions) (*PartialRe
 		return nil, err
 	}
 	start := time.Now()
-	pm := newPartialMerge(sourceOrFiles(opts.Source, opts.Counter), opts.Threshold)
+	pm := newPartialMerge(sourceOrStore(opts.Source, opts.Store, opts.Counter), opts.Threshold)
 	defer pm.closeAll()
 	if err := pm.run(cands); err != nil {
 		return nil, err
@@ -102,7 +108,7 @@ func ShardedPartialSpiderMerge(cands []Candidate, opts ShardedPartialMergeOption
 		return nil, err
 	}
 	start := time.Now()
-	src := rangeSourceOrFiles(opts.Source, opts.Counter)
+	src := rangeSourceOrStore(opts.Source, opts.Store, opts.Counter)
 	plan, err := resolveShardRanges(cands, src, opts.Shards, opts.Boundaries, opts.Planner)
 	if err != nil {
 		return nil, err

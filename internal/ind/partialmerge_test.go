@@ -59,7 +59,7 @@ func TestPartialSpiderMergeMatchesBruteForce(t *testing.T) {
 						t.Fatal(err)
 					}
 					mem, err := ShardedPartialSpiderMerge(cands, ShardedPartialMergeOptions{
-						Threshold: sigma, Source: MemorySource{Sets: sets},
+						Threshold: sigma, Source: memSource(sets),
 						Shards: shards, Workers: workers,
 					})
 					if err != nil {

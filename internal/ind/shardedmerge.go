@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"spider/internal/sketch"
+	"spider/internal/store"
 	"spider/internal/valfile"
 )
 
@@ -16,9 +17,12 @@ import (
 type ShardedMergeOptions struct {
 	// Counter receives every item read; nil disables external counting.
 	Counter *valfile.ReadCounter
-	// Source provides range-restricted cursors; nil selects the sorted
-	// value files written by ExportAttributes, counted by Counter.
+	// Source provides range-restricted cursors; nil selects Store, then
+	// the sorted value files written by ExportAttributes, counted by
+	// Counter.
 	Source RangeSource
+	// Store serves the attributes' value sets when Source is nil.
+	Store store.Dataset
 	// Shards is S, the number of disjoint value ranges merged
 	// independently. Zero or one selects a single unsharded merge.
 	Shards int
@@ -83,7 +87,7 @@ func (p ShardPlanner) String() string {
 // bookkeeping are partitioned S ways and run concurrently.
 func ShardedSpiderMerge(cands []Candidate, opts ShardedMergeOptions) (*Result, error) {
 	start := time.Now()
-	src := rangeSourceOrFiles(opts.Source, opts.Counter)
+	src := rangeSourceOrStore(opts.Source, opts.Store, opts.Counter)
 	plan, err := resolveShardRanges(cands, src, opts.Shards, opts.Boundaries, opts.Planner)
 	if err != nil {
 		return nil, err

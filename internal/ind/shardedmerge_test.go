@@ -70,7 +70,7 @@ func TestShardedSpiderMergePropertyAgreement(t *testing.T) {
 					t.Fatal(err)
 				}
 				gotMem, err := ShardedSpiderMerge(cands, ShardedMergeOptions{
-					Source: MemorySource{Sets: sets}, Shards: shards, Workers: workers,
+					Source: memSource(sets), Shards: shards, Workers: workers,
 				})
 				if err != nil {
 					t.Fatal(err)
@@ -128,7 +128,7 @@ func TestShardedSpiderMergeExplicitBoundaries(t *testing.T) {
 	want := Reference(cands, sets)
 
 	res, err := ShardedSpiderMerge(cands, ShardedMergeOptions{
-		Source:     MemorySource{Sets: sets},
+		Source:     memSource(sets),
 		Shards:     3,
 		Boundaries: []string{"c", "n"},
 	})
@@ -140,7 +140,7 @@ func TestShardedSpiderMergeExplicitBoundaries(t *testing.T) {
 	}
 
 	if _, err := ShardedSpiderMerge(cands, ShardedMergeOptions{
-		Source:     MemorySource{Sets: sets},
+		Source:     memSource(sets),
 		Shards:     3,
 		Boundaries: []string{"n", "c"},
 	}); err == nil {

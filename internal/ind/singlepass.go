@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"spider/internal/store"
 	"spider/internal/valfile"
 )
 
@@ -12,9 +13,12 @@ import (
 type SinglePassOptions struct {
 	// Counter receives every item read; nil disables external counting.
 	Counter *valfile.ReadCounter
-	// Source provides each attribute's value cursor; nil selects the
-	// sorted value files written by ExportAttributes, counted by Counter.
+	// Source provides each attribute's value cursor; nil selects Store,
+	// then the sorted value files written by ExportAttributes, counted
+	// by Counter.
 	Source CursorSource
+	// Store serves the attributes' value sets when Source is nil.
+	Store store.Dataset
 }
 
 // SinglePass tests all candidates in parallel while reading every value
@@ -30,7 +34,7 @@ type SinglePassOptions struct {
 // that overhead.
 func SinglePass(cands []Candidate, opts SinglePassOptions) (*Result, error) {
 	start := time.Now()
-	sp, err := newSinglePass(cands, sourceOrFiles(opts.Source, opts.Counter))
+	sp, err := newSinglePass(cands, sourceOrStore(opts.Source, opts.Store, opts.Counter))
 	if err != nil {
 		return nil, err
 	}

@@ -175,7 +175,7 @@ func TestExportPersistsSketches(t *testing.T) {
 		}
 		saved[i], a.Sketch = a.Sketch, nil
 	}
-	if err := LoadSketches(attrs); err != nil {
+	if err := LoadSketches(nil, attrs); err != nil {
 		t.Fatal(err)
 	}
 	for i, a := range attrs {

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"spider/internal/store"
 	"spider/internal/valfile"
 )
 
@@ -12,11 +13,13 @@ import (
 type SpiderMergeOptions struct {
 	// Counter receives every item read; nil disables external counting.
 	Counter *valfile.ReadCounter
-	// Source provides each attribute's value cursor; nil selects the
-	// sorted value files written by ExportAttributes, counted by Counter.
-	// Each attribute is opened exactly once, so single-shot sources
-	// (SorterSource) work here.
+	// Source provides each attribute's value cursor; nil selects Store,
+	// then the sorted value files written by ExportAttributes, counted
+	// by Counter. Each attribute is opened exactly once, so single-shot
+	// sources (SorterSource) work here.
 	Source CursorSource
+	// Store serves the attributes' value sets when Source is nil.
+	Store store.Dataset
 }
 
 // SpiderMerge tests every candidate in one pass over all attribute
@@ -35,7 +38,7 @@ type SpiderMergeOptions struct {
 // the single-pass total.
 func SpiderMerge(cands []Candidate, opts SpiderMergeOptions) (*Result, error) {
 	start := time.Now()
-	sm := newSpiderMerge(sourceOrFiles(opts.Source, opts.Counter))
+	sm := newSpiderMerge(sourceOrStore(opts.Source, opts.Store, opts.Counter))
 	defer sm.closeAll()
 	if err := sm.run(cands); err != nil {
 		return nil, err

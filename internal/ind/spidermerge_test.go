@@ -104,7 +104,7 @@ func TestSpiderMergePropertyAgreement(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			smMem, err := SpiderMerge(cands, SpiderMergeOptions{Source: MemorySource{Sets: sets}})
+			smMem, err := SpiderMerge(cands, SpiderMergeOptions{Source: memSource(sets)})
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -46,7 +46,7 @@ func TestTransitivityFilterChainInference(t *testing.T) {
 
 	res, err := BruteForce(cands, BruteForceOptions{
 		Transitivity: true,
-		Source:       MemorySource{Sets: sets},
+		Source:       memSource(sets),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -83,7 +83,7 @@ func TestTransitivityFilterChainRefutation(t *testing.T) {
 	}
 	res, err := BruteForce(cands, BruteForceOptions{
 		Transitivity: true,
-		Source:       MemorySource{Sets: sets},
+		Source:       memSource(sets),
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,52 @@
+package store
+
+import "spider/internal/valfile"
+
+// This file holds the blessed path-level pass-throughs into the
+// valfile seam. They exist so that code which legitimately works on
+// bare value files — extsort's spill-run freeze/replay, the valconvert
+// migration tool — still routes through the store package: the
+// storeseam analyzer forbids direct valfile open/create calls
+// everywhere else, which keeps the Dataset abstraction from eroding
+// one call site at a time.
+
+// OpenFile opens the value file at path with format auto-detection,
+// counting delivered items and bytes into counter (nil disables).
+func OpenFile(path string, counter *valfile.ReadCounter) (*valfile.Reader, error) {
+	return valfile.Open(path, counter)
+}
+
+// OpenFileRange opens the value file at path restricted to bounds.
+func OpenFileRange(path string, counter *valfile.ReadCounter, bounds valfile.Range) (*valfile.Reader, error) {
+	return valfile.OpenRange(path, counter, bounds)
+}
+
+// CreateFile creates a value file at path in the given encoding.
+func CreateFile(path string, format valfile.Format) (*valfile.Writer, error) {
+	return valfile.CreateFormat(path, format)
+}
+
+// WriteFileValues writes the sorted distinct slice to path in the
+// given encoding and returns the number of values written.
+func WriteFileValues(path string, sorted []string, format valfile.Format) (int, error) {
+	return valfile.WriteAllFormat(path, sorted, format)
+}
+
+// ReadFileValues reads the whole value file at path into memory.
+func ReadFileValues(path string) ([]string, error) {
+	return valfile.ReadAll(path)
+}
+
+// FileSection returns the named embedded section of the value file at
+// path; ok is false when the file carries no such section (always the
+// case for the text encoding, whose sections live in sidecars).
+func FileSection(path, tag string) (data []byte, ok bool, err error) {
+	return valfile.ReadSection(path, tag)
+}
+
+// SampleFileValues returns up to max ascending sample values of the
+// value file at path (block: the block index's first values; text: the
+// first value only).
+func SampleFileValues(path string, max int) ([]string, error) {
+	return valfile.SampleValues(path, max)
+}

@@ -1,0 +1,136 @@
+package store
+
+import (
+	"sync"
+
+	"spider/internal/valfile"
+)
+
+// Snapshot wraps any backend as a read-only dataset that pools reads:
+// the first cursor opened on a key pulls the key's values through the
+// base backend once and caches them; every later cursor — including
+// concurrent ones — is served from that single immutable copy. This is
+// the sharing model a long-lived server needs (many requests, one
+// loaded dataset) and the indserved daemon's precondition: immutable
+// shared state, per-request cursors with no per-request I/O.
+//
+// Keys written to the base after the snapshot was taken are visible
+// (they fault into the cache on first open); keys already cached never
+// change. Create and Remove fail with ErrReadOnly.
+type Snapshot struct {
+	base Dataset
+
+	mu       sync.RWMutex
+	vals     map[string][]string
+	sections map[string]map[string][]byte // nil payload = cached absence
+}
+
+// NewSnapshot returns a read-only pooled view of base.
+func NewSnapshot(base Dataset) *Snapshot {
+	return &Snapshot{
+		base:     base,
+		vals:     make(map[string][]string),
+		sections: make(map[string]map[string][]byte),
+	}
+}
+
+// Keys enumerates the base dataset's keys.
+func (s *Snapshot) Keys() ([]string, error) { return s.base.Keys() }
+
+// values returns the cached value slice for key, loading it through
+// the base dataset on first use. Concurrent first opens of the same
+// key serialize on the write lock; later opens share the read lock.
+func (s *Snapshot) values(key string) ([]string, error) {
+	s.mu.RLock()
+	vals, ok := s.vals[key]
+	s.mu.RUnlock()
+	if ok {
+		return vals, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if vals, ok := s.vals[key]; ok {
+		return vals, nil
+	}
+	cur, err := s.base.Open(key, nil)
+	if err != nil {
+		return nil, err
+	}
+	var loaded []string
+	for {
+		v, ok := cur.Next()
+		if !ok {
+			break
+		}
+		loaded = append(loaded, v)
+	}
+	if err := cur.Err(); err != nil {
+		cur.Close()
+		return nil, err
+	}
+	if err := cur.Close(); err != nil {
+		return nil, err
+	}
+	s.vals[key] = loaded
+	return loaded, nil
+}
+
+// Open returns an unbounded pooled cursor over key.
+func (s *Snapshot) Open(key string, counter *valfile.ReadCounter) (Cursor, error) {
+	return s.OpenRange(key, counter, valfile.Range{})
+}
+
+// OpenRange returns a pooled cursor over key bounded to bounds. Any
+// number of cursors, concurrent included, share one cached copy.
+func (s *Snapshot) OpenRange(key string, counter *valfile.ReadCounter, bounds valfile.Range) (Cursor, error) {
+	vals, err := s.values(key)
+	if err != nil {
+		return nil, err
+	}
+	return NewSliceCursor(rangeSlice(vals, bounds), counter), nil
+}
+
+// Create fails: snapshots are immutable.
+func (s *Snapshot) Create(string) (ValueWriter, error) { return nil, ErrReadOnly }
+
+// Remove fails: snapshots are immutable.
+func (s *Snapshot) Remove(string) error { return ErrReadOnly }
+
+// Section returns key's named section, memoized per key (absence
+// included, so a missing sidecar is probed once, not per reader).
+func (s *Snapshot) Section(key, tag string) ([]byte, bool, error) {
+	s.mu.RLock()
+	secs, ok := s.sections[key]
+	if ok {
+		data, ok := secs[tag]
+		s.mu.RUnlock()
+		if ok {
+			return data, data != nil, nil
+		}
+	} else {
+		s.mu.RUnlock()
+	}
+	data, found, err := s.base.Section(key, tag)
+	if err != nil {
+		return nil, false, err
+	}
+	if !found {
+		data = nil
+	}
+	s.mu.Lock()
+	if s.sections[key] == nil {
+		s.sections[key] = make(map[string][]byte)
+	}
+	s.sections[key][tag] = data
+	s.mu.Unlock()
+	return data, found, nil
+}
+
+// Sample serves boundary samples from the pooled value cache.
+func (s *Snapshot) Sample(key string, max int) ([]string, error) {
+	vals, err := s.values(key)
+	if err != nil {
+		return nil, err
+	}
+	return sampleSlice(vals, max), nil
+}

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # End-to-end smoke test: build cmd/indfind and profile the CSV tables in
 # examples/data in exact, partial and n-ary modes — in both value-file
-# encodings (-format text and -format block) — asserting that each mode
+# encodings (-format text and -format block) and across the storage
+# backends (-backend fs|mem|snapshot) — asserting that each mode
 # discovers the INDs planted in the data and exits zero. CI runs this on
 # every push; it is also handy locally:
 #
@@ -47,5 +48,38 @@ for fmt in text block; do
     || fail "no arity-2 INDs discovered (-format $fmt)"
   grep -q "transcripts.gene_id" <<<"$out" || fail "arity-2 IND does not involve transcripts.gene_id (-format $fmt)"
 done
+
+# Storage backends: the same exact, partial and n-ary discoveries must
+# hold with the value sets staged in memory or served from a read-only
+# snapshot — no value files ever touch disk on these paths.
+for backend in mem snapshot; do
+  echo "+ indfind -csv $data -backend $backend -algo spider-merge"
+  out=$("$bin" -csv "$data" -backend "$backend" -algo spider-merge)
+  grep -q "transcripts.gene_id ⊆ genes.gene_id" <<<"$out" \
+    || fail "expected exact IND missing for: -backend $backend"
+
+  echo "+ indfind -csv $data -backend $backend -algo spider-merge -partial 0.9"
+  out=$("$bin" -csv "$data" -backend "$backend" -algo spider-merge -partial 0.9)
+  grep -q "xrefs.gene ⊆ genes.gene_id" <<<"$out" \
+    || fail "expected partial IND missing (-backend $backend)"
+
+  echo "+ indfind -csv $data -backend $backend -algo spider-merge -nary 2"
+  out=$("$bin" -csv "$data" -backend "$backend" -algo spider-merge -nary 2)
+  grep -Eq "n-ary INDs \(arity 2\.\.2\): [1-9]" <<<"$out" \
+    || fail "no arity-2 INDs discovered (-backend $backend)"
+done
+
+# valconvert -backend mem stages the conversion in memory and verifies
+# it against the source without writing a destination file.
+valbin=$(dirname "$bin")/valconvert
+go build -o "$valbin" ./cmd/valconvert
+valdir=$(mktemp -d)
+"$bin" -csv "$data" -algo spider-merge -workdir "$valdir/work" >/dev/null
+sample=$(find "$valdir/work" -name '*.val' | head -1)
+[ -n "$sample" ] || fail "no value files exported for valconvert check"
+echo "+ valconvert -backend mem -verify $sample"
+out=$("$valbin" -backend mem -verify "$sample")
+grep -q "staged in memory" <<<"$out" || fail "valconvert mem backend did not stage in memory"
+rm -rf "$valdir"
 
 echo "smoke: OK"

@@ -37,6 +37,7 @@ import (
 	"spider/internal/ind"
 	"spider/internal/relstore"
 	"spider/internal/sketch"
+	"spider/internal/store"
 	"spider/internal/valfile"
 	"spider/internal/value"
 )
@@ -285,6 +286,12 @@ type Options struct {
 	// for exported attributes and spill runs. The discovered INDs are
 	// identical under either format.
 	Format Format
+	// Store selects the dataset backend extraction writes to and the
+	// engines read from (NewFSStore, NewMemStore, NewSnapshotStore).
+	// nil keeps the historical layout: value files under WorkDir. The
+	// Streaming paths bypass the store — they serve cursors straight
+	// from sort runs.
+	Store *Store
 }
 
 // sketchConfig maps the public sketch knobs onto the package config.
@@ -486,13 +493,17 @@ func FindINDs(db *Database, opts Options) (*Result, error) {
 	}
 	exportFiles := needsFiles(opts.Algorithm) && !opts.Streaming
 	workDir := opts.WorkDir
-	if exportFiles && workDir == "" {
+	if exportFiles && workDir == "" && opts.Store.needsDir() {
 		tmp, err := os.MkdirTemp("", "spider-*")
 		if err != nil {
 			return nil, err
 		}
 		defer os.RemoveAll(tmp)
 		workDir = tmp
+	}
+	var writeDS, readDS store.Dataset
+	if opts.Store != nil {
+		writeDS, readDS = opts.Store.datasets(workDir)
 	}
 
 	attrs, err := ind.CollectAttributes(db.rel)
@@ -506,7 +517,8 @@ func FindINDs(db *Database, opts Options) (*Result, error) {
 	// extraction pass) exist by the time the pre-filter runs.
 	var counter valfile.ReadCounter
 	exportCfg := ind.ExportConfig{
-		Dir: workDir, Workers: exportWorkers(opts),
+		Dataset: writeDS,
+		Dir:     workDir, Workers: exportWorkers(opts),
 		Sort:     extsort.Config{TempDir: opts.WorkDir, Format: opts.Format.internal()},
 		Sketches: opts.SketchPrefilter, SketchConfig: opts.sketchConfig(),
 		Format: opts.Format.internal(),
@@ -560,19 +572,19 @@ func FindINDs(db *Database, opts Options) (*Result, error) {
 	var res *ind.Result
 	switch opts.Algorithm {
 	case BruteForce:
-		res, err = ind.BruteForce(cands, ind.BruteForceOptions{Counter: &counter, Transitivity: opts.Transitivity})
+		res, err = ind.BruteForce(cands, ind.BruteForceOptions{Counter: &counter, Store: readDS, Transitivity: opts.Transitivity})
 	case BruteForceParallel:
-		res, err = ind.BruteForceParallel(cands, ind.ParallelOptions{Counter: &counter, Workers: opts.Workers})
+		res, err = ind.BruteForceParallel(cands, ind.ParallelOptions{Counter: &counter, Store: readDS, Workers: opts.Workers})
 	case SinglePass:
-		res, err = ind.SinglePass(cands, ind.SinglePassOptions{Counter: &counter})
+		res, err = ind.SinglePass(cands, ind.SinglePassOptions{Counter: &counter, Store: readDS})
 	case SinglePassBlocked:
 		res, err = ind.SinglePassBlocked(cands, ind.BlockedOptions{
-			DepBlock: opts.DepBlock, RefBlock: opts.RefBlock, Counter: &counter,
+			DepBlock: opts.DepBlock, RefBlock: opts.RefBlock, Counter: &counter, Store: readDS,
 		})
 	case SpiderMerge:
 		if opts.Shards > 1 {
 			smOpts := ind.ShardedMergeOptions{
-				Counter: &counter, Shards: opts.Shards, Workers: opts.MergeWorkers,
+				Counter: &counter, Store: readDS, Shards: opts.Shards, Workers: opts.MergeWorkers,
 				Planner: opts.Planner.internal(),
 			}
 			if sharedSrc != nil {
@@ -581,7 +593,7 @@ func FindINDs(db *Database, opts Options) (*Result, error) {
 			res, err = ind.ShardedSpiderMerge(cands, smOpts)
 			break
 		}
-		smOpts := ind.SpiderMergeOptions{Counter: &counter}
+		smOpts := ind.SpiderMergeOptions{Counter: &counter, Store: readDS}
 		if streamSrc != nil {
 			smOpts.Source = streamSrc
 		}
