@@ -48,6 +48,7 @@ func main() {
 		"also prune candidates with estimated containment below this bound (approximate; 0 = off on the exact path, σ on the partial path)")
 	sketchK := flag.Int("sketch-k", 0, "min-hash signature size (0 = default 128)")
 	sketchBloomBits := flag.Int("sketch-bloombits", 0, "bloom bits per distinct value (0 = default 10)")
+	out := flag.String("out", "", "write the result set (attribute catalog + verified INDs) to this JSON file, servable by indserved")
 	flag.Parse()
 
 	db, err := openDatabase(*csvDir, *data, *scale, *seed)
@@ -77,6 +78,11 @@ func main() {
 	backend, err := spider.ParseBackend(*backendName, *workDir, format)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "indfind: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *out != "" && *partial > 0 {
+		fmt.Fprintln(os.Stderr, "indfind: -out persists exact result sets only (not -partial runs)")
 		os.Exit(1)
 	}
 
@@ -138,6 +144,13 @@ func main() {
 	}
 	for _, d := range res.INDs {
 		fmt.Println(d)
+	}
+	if *out != "" {
+		if err := res.SaveResultSet(*out); err != nil {
+			fmt.Fprintf(os.Stderr, "indfind: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "indfind: result set written to %s\n", *out)
 	}
 	name := algorithm.String()
 	if *shards > 1 && algorithm == spider.SpiderMerge {

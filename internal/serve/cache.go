@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lru is the response cache: a bounded map + recency list over encoded
+// JSON responses, keyed by request URI. One lru lives inside each State,
+// so a snapshot swap retires every cached answer of the old generation
+// at once — there is no invalidation protocol to get wrong.
+type lru struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List
+	items map[string]*list.Element
+
+	hits, misses, evictions int64
+}
+
+// cachedResponse is one stored answer.
+type cachedResponse struct {
+	key    string
+	status int
+	body   []byte
+}
+
+// newLRU returns a cache bounded to max entries; max <= 0 disables
+// caching (every lookup misses, every store is dropped).
+func newLRU(max int) *lru {
+	return &lru{max: max, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// get returns the cached response for key, refreshing its recency.
+func (c *lru) get(key string) (cachedResponse, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return cachedResponse{}, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(cachedResponse), true
+}
+
+// put stores a response under key, evicting the least recently used
+// entry when full.
+func (c *lru) put(key string, status int, body []byte) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value = cachedResponse{key: key, status: status, body: body}
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(cachedResponse{key: key, status: status, body: body})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(cachedResponse).key)
+		c.evictions++
+	}
+}
+
+// CacheMetrics reports the response cache's hit profile and occupancy.
+type CacheMetrics struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Len       int   `json:"len"`
+	Cap       int   `json:"cap"`
+}
+
+// metrics snapshots the cache counters.
+func (c *lru) metrics() CacheMetrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheMetrics{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Len:       c.ll.Len(),
+		Cap:       c.max,
+	}
+}

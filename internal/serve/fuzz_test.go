@@ -1,0 +1,63 @@
+package serve
+
+import (
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// fuzzServer lazily builds one server shared by every fuzz execution;
+// the fixture pipeline is far too expensive to run per input.
+var (
+	fuzzOnce sync.Once
+	fuzzSrv  *Server
+)
+
+func fuzzHandler(tb testing.TB) *Server {
+	fuzzOnce.Do(func() {
+		fuzzSrv = newTestServer(tb, buildFixture(tb))
+	})
+	return fuzzSrv
+}
+
+// FuzzServeRequest throws arbitrary methods, paths, query strings and
+// bodies at the full router. The contract under fuzz is the daemon
+// contract: malformed input answers with an error status — a handler
+// that panics is one crafted query away from an outage.
+func FuzzServeRequest(f *testing.F) {
+	f.Add(uint8(0), "/healthz", "", "")
+	f.Add(uint8(0), "/v1/member", "attr=parent.id&value=3", "")
+	f.Add(uint8(0), "/v1/member", "attr=parent.id&value=", "")
+	f.Add(uint8(0), "/v1/containment", "dep=child.parent_id&ref=parent.id", "")
+	f.Add(uint8(0), "/v1/inds", "limit=-1", "")
+	f.Add(uint8(0), "/v1/inds", "limit=99999999999999999999", "")
+	f.Add(uint8(0), "/v1/verify", "dep=a.b&ref=c.d&algo=quantum", "")
+	f.Add(uint8(1), "/v1/verify", "", `{"dep": "child.parent_id", "ref": "parent.id"}`)
+	f.Add(uint8(1), "/v1/verify", "", `{"dep": 3}`)
+	f.Add(uint8(1), "/v1/verify", "", `{`)
+	f.Add(uint8(1), "/v1/reload", "", "")
+	f.Add(uint8(2), "/v1/member", "attr=parent.id&value=3", "")
+	f.Add(uint8(0), "/v1/member", "attr=parent.id&value=3&value=4", "")
+	f.Add(uint8(0), "/v1/attrs", "dataset=%zz", "")
+	f.Add(uint8(0), "//v1//member", "attr", "")
+	f.Add(uint8(0), "/v1/member\x00", "attr=\x00&value=\xff", "")
+
+	methods := []string{"GET", "POST", "PUT"}
+	s := fuzzHandler(f)
+	f.Fuzz(func(t *testing.T, m uint8, path, query, body string) {
+		// Build the request by assigning URL fields directly:
+		// httptest.NewRequest panics on unparsable targets, and the
+		// point is to exercise the server with inputs a socket would
+		// happily deliver.
+		req := httptest.NewRequest(methods[int(m)%len(methods)], "/", strings.NewReader(body))
+		req.URL = &url.URL{Path: path, RawQuery: query}
+		req.RequestURI = req.URL.RequestURI()
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, req)
+		if rec.Code < 200 || rec.Code > 599 {
+			t.Fatalf("status %d for %q %q %q", rec.Code, path, query, body)
+		}
+	})
+}

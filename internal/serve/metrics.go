@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// Metrics aggregates per-endpoint request counts and latencies over the
+// server's lifetime (they deliberately survive snapshot swaps — the
+// cache metrics are per generation, the traffic metrics are not).
+type Metrics struct {
+	start time.Time
+
+	mu        sync.Mutex
+	endpoints map[string]*EndpointMetrics
+}
+
+// EndpointMetrics is one endpoint's aggregate counters.
+type EndpointMetrics struct {
+	// Requests counts every request routed to the endpoint; Errors the
+	// subset answered with a 4xx or 5xx status.
+	Requests int64 `json:"requests"`
+	Errors   int64 `json:"errors"`
+	// TotalNs and MaxNs aggregate handling latency, cache hits
+	// included. MeanNs = TotalNs / Requests, precomputed for dashboards.
+	TotalNs int64 `json:"total_ns"`
+	MaxNs   int64 `json:"max_ns"`
+	MeanNs  int64 `json:"mean_ns"`
+}
+
+// newMetrics returns an empty registry.
+func newMetrics() *Metrics {
+	return &Metrics{start: time.Now(), endpoints: make(map[string]*EndpointMetrics)}
+}
+
+// observe records one handled request.
+func (m *Metrics) observe(endpoint string, status int, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	em := m.endpoints[endpoint]
+	if em == nil {
+		em = &EndpointMetrics{}
+		m.endpoints[endpoint] = em
+	}
+	em.Requests++
+	if status >= 400 {
+		em.Errors++
+	}
+	ns := d.Nanoseconds()
+	em.TotalNs += ns
+	if ns > em.MaxNs {
+		em.MaxNs = ns
+	}
+}
+
+// snapshot copies the counters for the metrics endpoint.
+func (m *Metrics) snapshot() map[string]EndpointMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]EndpointMetrics, len(m.endpoints))
+	for name, em := range m.endpoints {
+		cp := *em
+		if cp.Requests > 0 {
+			cp.MeanNs = cp.TotalNs / cp.Requests
+		}
+		out[name] = cp
+	}
+	return out
+}
+
+// uptime reports the time since the registry was created (server start).
+func (m *Metrics) uptime() time.Duration { return time.Since(m.start) }

@@ -1,0 +1,199 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+)
+
+// Request parsing is kept in pure functions over url.Values and JSON
+// bodies so the whole surface is fuzzable (FuzzServeRequest): malformed
+// input must come back as an error — never a panic — because in a
+// long-lived daemon a panicking handler is one crafted query away from
+// an outage.
+
+// apiError carries an HTTP status with a message; handlers return it to
+// the instrumentation wrapper, which renders the JSON error envelope.
+type apiError struct {
+	status int
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+// errBadRequest builds a 400.
+func errBadRequest(format string, args ...interface{}) *apiError {
+	return &apiError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// errNotFound builds a 404.
+func errNotFound(format string, args ...interface{}) *apiError {
+	return &apiError{status: http.StatusNotFound, msg: fmt.Sprintf(format, args...)}
+}
+
+// errUnprocessable builds a 422 (well-formed request, unanswerable —
+// e.g. a containment probe over attributes with no persisted sketch).
+func errUnprocessable(format string, args ...interface{}) *apiError {
+	return &apiError{status: http.StatusUnprocessableEntity, msg: fmt.Sprintf(format, args...)}
+}
+
+// maxValueLen bounds probe values; canonical values are unbounded in
+// principle but a multi-megabyte query parameter is abuse, not data.
+const maxValueLen = 1 << 20
+
+// MemberRequest asks whether value occurs in attr's value set.
+type MemberRequest struct {
+	Dataset string
+	Attr    string
+	Value   string
+}
+
+// parseMemberRequest validates /v1/member query parameters.
+func parseMemberRequest(q url.Values) (MemberRequest, *apiError) {
+	req := MemberRequest{Dataset: q.Get("dataset"), Attr: q.Get("attr"), Value: q.Get("value")}
+	if req.Attr == "" {
+		return req, errBadRequest("missing attr parameter (want attr=table.column)")
+	}
+	if !q.Has("value") {
+		return req, errBadRequest("missing value parameter")
+	}
+	if len(req.Value) > maxValueLen {
+		return req, errBadRequest("value parameter exceeds %d bytes", maxValueLen)
+	}
+	return req, nil
+}
+
+// ContainmentRequest asks for the sketch-estimated containment of dep
+// in ref.
+type ContainmentRequest struct {
+	Dataset string
+	Dep     string
+	Ref     string
+}
+
+// parseContainmentRequest validates /v1/containment query parameters.
+func parseContainmentRequest(q url.Values) (ContainmentRequest, *apiError) {
+	req := ContainmentRequest{Dataset: q.Get("dataset"), Dep: q.Get("dep"), Ref: q.Get("ref")}
+	if req.Dep == "" || req.Ref == "" {
+		return req, errBadRequest("missing dep or ref parameter (want dep=table.column&ref=table.column)")
+	}
+	if req.Dep == req.Ref {
+		return req, errBadRequest("dep and ref name the same attribute")
+	}
+	return req, nil
+}
+
+// maxINDLimit caps /v1/inds responses.
+const maxINDLimit = 10000
+
+// INDsRequest filters the loaded verdict set.
+type INDsRequest struct {
+	Dataset string
+	// Dep and Ref restrict to INDs with that exact dependent or
+	// referenced attribute; Attr restricts to INDs naming the attribute
+	// on either side; Table restricts to INDs touching the table.
+	Dep, Ref, Attr, Table string
+	// Limit bounds the returned INDs (default and max maxINDLimit).
+	Limit int
+}
+
+// parseINDsRequest validates /v1/inds query parameters.
+func parseINDsRequest(q url.Values) (INDsRequest, *apiError) {
+	req := INDsRequest{
+		Dataset: q.Get("dataset"),
+		Dep:     q.Get("dep"),
+		Ref:     q.Get("ref"),
+		Attr:    q.Get("attr"),
+		Table:   q.Get("table"),
+		Limit:   maxINDLimit,
+	}
+	if raw := q.Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 1 {
+			return req, errBadRequest("invalid limit %q (want a positive integer)", raw)
+		}
+		if n < req.Limit {
+			req.Limit = n
+		}
+	}
+	return req, nil
+}
+
+// VerifyRequest asks for an on-demand re-verification of dep ⊆ ref
+// through a discovery engine.
+type VerifyRequest struct {
+	Dataset   string `json:"dataset"`
+	Dep       string `json:"dep"`
+	Ref       string `json:"ref"`
+	Algorithm string `json:"algorithm"`
+}
+
+// verifyAlgorithms names the engines the verify endpoint can run.
+var verifyAlgorithms = []string{"spider-merge", "brute-force", "single-pass"}
+
+// maxBodyBytes bounds request bodies.
+const maxBodyBytes = 1 << 20
+
+// parseVerifyRequest validates a /v1/verify request: query parameters
+// on GET, a JSON body on POST (query parameters fill any field the
+// body leaves empty, so curl one-liners stay convenient).
+func parseVerifyRequest(r *http.Request) (VerifyRequest, *apiError) {
+	q := r.URL.Query()
+	req := VerifyRequest{
+		Dataset:   q.Get("dataset"),
+		Dep:       q.Get("dep"),
+		Ref:       q.Get("ref"),
+		Algorithm: q.Get("algo"),
+	}
+	if r.Method == http.MethodPost {
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+		if err != nil {
+			return req, errBadRequest("reading body: %v", err)
+		}
+		if len(body) > maxBodyBytes {
+			return req, errBadRequest("body exceeds %d bytes", maxBodyBytes)
+		}
+		if len(strings.TrimSpace(string(body))) > 0 {
+			var b VerifyRequest
+			if err := json.Unmarshal(body, &b); err != nil {
+				return req, errBadRequest("invalid JSON body: %v", err)
+			}
+			if b.Dataset != "" {
+				req.Dataset = b.Dataset
+			}
+			if b.Dep != "" {
+				req.Dep = b.Dep
+			}
+			if b.Ref != "" {
+				req.Ref = b.Ref
+			}
+			if b.Algorithm != "" {
+				req.Algorithm = b.Algorithm
+			}
+		}
+	}
+	if req.Dep == "" || req.Ref == "" {
+		return req, errBadRequest("missing dep or ref (want dep=table.column&ref=table.column)")
+	}
+	if req.Dep == req.Ref {
+		return req, errBadRequest("dep and ref name the same attribute")
+	}
+	if req.Algorithm == "" {
+		req.Algorithm = verifyAlgorithms[0]
+	}
+	ok := false
+	for _, a := range verifyAlgorithms {
+		if req.Algorithm == a {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		return req, errBadRequest("unknown algorithm %q (want %s)", req.Algorithm, strings.Join(verifyAlgorithms, ", "))
+	}
+	return req, nil
+}

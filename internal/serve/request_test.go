@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+)
+
+func TestParseMemberRequest(t *testing.T) {
+	if _, err := parseMemberRequest(url.Values{"value": {"x"}}); err == nil || err.status != http.StatusBadRequest {
+		t.Errorf("missing attr accepted: %v", err)
+	}
+	if _, err := parseMemberRequest(url.Values{"attr": {"t.c"}}); err == nil {
+		t.Error("missing value accepted")
+	}
+	// An explicitly empty value is a valid probe (it means NULL).
+	req, err := parseMemberRequest(url.Values{"attr": {"t.c"}, "value": {""}})
+	if err != nil || req.Value != "" {
+		t.Errorf("empty value rejected: %v", err)
+	}
+	if _, err := parseMemberRequest(url.Values{"attr": {"t.c"}, "value": {strings.Repeat("v", maxValueLen+1)}}); err == nil {
+		t.Error("oversized value accepted")
+	}
+}
+
+func TestParseContainmentRequest(t *testing.T) {
+	if _, err := parseContainmentRequest(url.Values{"dep": {"a.b"}}); err == nil {
+		t.Error("missing ref accepted")
+	}
+	if _, err := parseContainmentRequest(url.Values{"dep": {"a.b"}, "ref": {"a.b"}}); err == nil {
+		t.Error("self-containment accepted")
+	}
+	req, err := parseContainmentRequest(url.Values{"dep": {"a.b"}, "ref": {"c.d"}, "dataset": {"x"}})
+	if err != nil || req.Dep != "a.b" || req.Ref != "c.d" || req.Dataset != "x" {
+		t.Errorf("req = %+v, err = %v", req, err)
+	}
+}
+
+func TestParseINDsRequest(t *testing.T) {
+	req, err := parseINDsRequest(url.Values{})
+	if err != nil || req.Limit != maxINDLimit {
+		t.Errorf("default limit = %d, err = %v", req.Limit, err)
+	}
+	req, err = parseINDsRequest(url.Values{"limit": {"5"}})
+	if err != nil || req.Limit != 5 {
+		t.Errorf("limit=5 -> %d, err = %v", req.Limit, err)
+	}
+	// A limit above the cap clamps rather than errors.
+	req, err = parseINDsRequest(url.Values{"limit": {"999999"}})
+	if err != nil || req.Limit != maxINDLimit {
+		t.Errorf("oversized limit -> %d, err = %v", req.Limit, err)
+	}
+	for _, bad := range []string{"0", "-3", "x", "9999999999999999999999"} {
+		if _, err := parseINDsRequest(url.Values{"limit": {bad}}); err == nil {
+			t.Errorf("limit=%q accepted", bad)
+		}
+	}
+}
+
+func TestParseVerifyRequest(t *testing.T) {
+	get := func(query string) *http.Request {
+		return httptest.NewRequest("GET", "/v1/verify?"+query, nil)
+	}
+	post := func(body string) *http.Request {
+		return httptest.NewRequest("POST", "/v1/verify", strings.NewReader(body))
+	}
+
+	req, err := parseVerifyRequest(get("dep=a.b&ref=c.d"))
+	if err != nil || req.Algorithm != "spider-merge" {
+		t.Errorf("default algorithm = %q, err = %v", req.Algorithm, err)
+	}
+	if _, err := parseVerifyRequest(get("dep=a.b&ref=c.d&algo=quantum")); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if _, err := parseVerifyRequest(get("dep=a.b&ref=a.b")); err == nil {
+		t.Error("self-verify accepted")
+	}
+
+	req, err = parseVerifyRequest(post(`{"dep": "a.b", "ref": "c.d", "algorithm": "brute-force"}`))
+	if err != nil || req.Dep != "a.b" || req.Algorithm != "brute-force" {
+		t.Errorf("POST req = %+v, err = %v", req, err)
+	}
+	if _, err := parseVerifyRequest(post(`{"dep":`)); err == nil {
+		t.Error("truncated JSON accepted")
+	}
+	if _, err := parseVerifyRequest(post(strings.Repeat("x", maxBodyBytes+1))); err == nil {
+		t.Error("oversized body accepted")
+	}
+	// Query parameters fill fields the body leaves empty.
+	r := httptest.NewRequest("POST", "/v1/verify?dep=a.b", strings.NewReader(`{"ref": "c.d"}`))
+	req, err = parseVerifyRequest(r)
+	if err != nil || req.Dep != "a.b" || req.Ref != "c.d" {
+		t.Errorf("merged req = %+v, err = %v", req, err)
+	}
+}

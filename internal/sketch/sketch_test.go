@@ -458,3 +458,32 @@ func BenchmarkProbe(b *testing.B) {
 		Probe(dep, ref)
 	}
 }
+
+// TestMayContainValue pins the string-level bloom probe used by the
+// serving daemon: every inserted value hits; absence of hits for far
+// misses shows it is the same filter as the hash-level probe.
+func TestMayContainValue(t *testing.T) {
+	b := NewBuilder(Config{}, 100)
+	for i := 0; i < 100; i++ {
+		b.Add(fmt.Sprintf("v%03d", i))
+	}
+	s := b.Finish()
+	for i := 0; i < 100; i++ {
+		v := fmt.Sprintf("v%03d", i)
+		if !s.MayContainValue(v) {
+			t.Fatalf("inserted value %q reported absent", v)
+		}
+		if s.MayContainValue(v) != s.MayContain(Hash(v)) {
+			t.Fatalf("MayContainValue(%q) disagrees with MayContain(Hash)", v)
+		}
+	}
+	misses := 0
+	for i := 0; i < 1000; i++ {
+		if !s.MayContainValue(fmt.Sprintf("absent-%04d", i)) {
+			misses++
+		}
+	}
+	if misses == 0 {
+		t.Error("no definite misses across 1000 absent values — filter not discriminating")
+	}
+}

@@ -134,3 +134,59 @@ func (s *Snapshot) Sample(key string, max int) ([]string, error) {
 	}
 	return sampleSlice(vals, max), nil
 }
+
+// Len returns the cardinality of key's value set, loading it into the
+// pooled cache on first use — the cheap per-key stat access a serving
+// layer needs (after the first touch it is a map lookup plus a len).
+func (s *Snapshot) Len(key string) (int, error) {
+	vals, err := s.values(key)
+	if err != nil {
+		return 0, err
+	}
+	return len(vals), nil
+}
+
+// Cached reports whether key's value set is already pooled, without
+// faulting it in.
+func (s *Snapshot) Cached(key string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.vals[key]
+	return ok
+}
+
+// Warm faults the given keys into the pooled cache so that no request
+// ever pays the first-open load — the daemon's startup preload. It
+// stops at the first failing key.
+func (s *Snapshot) Warm(keys []string) error {
+	for _, k := range keys {
+		if _, err := s.values(k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CacheStats describes the pooled read cache: how many keys are
+// resident, how many values they hold in total, and how many section
+// lookups (absences included) are memoized. The serving layer surfaces
+// these through its metrics endpoint.
+type CacheStats struct {
+	Keys     int
+	Values   int64
+	Sections int
+}
+
+// CacheStats returns the current pooled-cache occupancy.
+func (s *Snapshot) CacheStats() CacheStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := CacheStats{Keys: len(s.vals)}
+	for _, vals := range s.vals {
+		st.Values += int64(len(vals))
+	}
+	for _, secs := range s.sections {
+		st.Sections += len(secs)
+	}
+	return st
+}

@@ -414,3 +414,44 @@ func TestMemWriterDoubleClose(t *testing.T) {
 		t.Error("second Close must fail")
 	}
 }
+
+// TestSnapshotServingHelpers covers the read-path additions the serving
+// daemon uses: Len, Cached, Warm and CacheStats.
+func TestSnapshotServingHelpers(t *testing.T) {
+	base := NewMem()
+	base.SetValues("a.val", []string{"1", "2", "3"})
+	base.SetValues("b.val", []string{"x"})
+	snap := NewSnapshot(base)
+
+	if snap.Cached("a.val") {
+		t.Error("a.val cached before any read")
+	}
+	if st := snap.CacheStats(); st.Keys != 0 {
+		t.Errorf("fresh stats = %+v", st)
+	}
+
+	if n, err := snap.Len("a.val"); err != nil || n != 3 {
+		t.Fatalf("Len(a.val) = %d, %v", n, err)
+	}
+	if !snap.Cached("a.val") || snap.Cached("b.val") {
+		t.Error("Len must fault only its key into the cache")
+	}
+
+	if err := snap.Warm([]string{"a.val", "b.val"}); err != nil {
+		t.Fatal(err)
+	}
+	if !snap.Cached("b.val") {
+		t.Error("Warm missed b.val")
+	}
+	st := snap.CacheStats()
+	if st.Keys != 2 || st.Values != 4 {
+		t.Errorf("stats after warm = %+v", st)
+	}
+
+	if _, err := snap.Len("missing.val"); err == nil {
+		t.Error("Len of a missing key must fail")
+	}
+	if err := snap.Warm([]string{"missing.val"}); err == nil {
+		t.Error("Warm of a missing key must fail")
+	}
+}

@@ -51,6 +51,18 @@ func (k Kind) String() string {
 	}
 }
 
+// ParseKind inverts Kind.String: it maps a persisted kind name back to
+// the Kind, which is how the result-set persistence round-trips column
+// types. ok is false for names no Kind renders to.
+func ParseKind(s string) (Kind, bool) {
+	for _, k := range []Kind{Null, Bool, Int, Float, String, LOB} {
+		if k.String() == s {
+			return k, true
+		}
+	}
+	return Null, false
+}
+
 // Value is an immutable dynamically typed database value. The zero Value
 // is NULL.
 type Value struct {

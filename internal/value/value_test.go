@@ -254,3 +254,20 @@ func TestParseStringRoundTripProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestParseKind pins the round trip between Kind.String and ParseKind —
+// the persisted result-set encoding depends on it.
+func TestParseKind(t *testing.T) {
+	for _, k := range []Kind{Null, Bool, Int, Float, String, LOB} {
+		got, ok := ParseKind(k.String())
+		if !ok || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v", k.String(), got, ok)
+		}
+	}
+	if _, ok := ParseKind("QUANTUM"); ok {
+		t.Error("unknown kind accepted")
+	}
+	if _, ok := ParseKind(""); ok {
+		t.Error("empty kind accepted")
+	}
+}

@@ -346,6 +346,12 @@ type Stats struct {
 type Result struct {
 	INDs  []IND
 	Stats Stats
+
+	// Persistence state for SaveResultSet: the attribute catalog of the
+	// run, the dataset name, and the algorithm that produced the INDs.
+	attrs     []*ind.Attribute
+	dataset   string
+	algorithm string
 }
 
 // Database wraps a loaded data source.
@@ -633,7 +639,11 @@ func FindINDs(db *Database, opts Options) (*Result, error) {
 	}
 	res.Stats.CandidatesPruned = sketchStats.Pruned
 	res.Stats.SketchBytes = sketchStats.SketchBytes
-	return convertResult(res), nil
+	out := convertResult(res)
+	out.attrs = attrs
+	out.dataset = db.rel.Name
+	out.algorithm = opts.Algorithm.String()
+	return out, nil
 }
 
 // exportWorkers resolves Options.ExportWorkers to a pool size.
